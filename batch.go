@@ -1,0 +1,97 @@
+package kpj
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kpj/internal/core"
+)
+
+// BatchQuery is one query of a batch: the k shortest simple paths from any
+// of Sources to any of Targets.
+type BatchQuery struct {
+	Sources []NodeID
+	Targets []NodeID
+	K       int
+}
+
+// BatchResult carries the outcome for the query at the same index.
+type BatchResult struct {
+	Paths []Path
+	Err   error
+}
+
+// Batch answers many queries concurrently over one graph, using up to
+// `parallelism` workers (≤ 0 means GOMAXPROCS). Each worker reuses its own
+// scratch workspace across the queries it processes, so large batches
+// avoid the per-query allocation cost entirely. Results align with the
+// input by index. When opt.Stats is set, the workers' counters are merged
+// into it after all queries finish.
+func (g *Graph) Batch(queries []BatchQuery, parallelism int, opt *Options) []BatchResult {
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	copt, fn, err := opt.coreOptions(g)
+	copt.Trace = nil // tracing interleaves across workers; unsupported in batches
+	if err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards the merged stats
+	var merged Stats
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workerOpt := copt
+			workerOpt.Workspace = core.NewWorkspace(g.NumNodes() + 2)
+			var st Stats
+			if copt.Stats != nil {
+				workerOpt.Stats = &st
+			} else {
+				workerOpt.Stats = nil
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					break
+				}
+				bq := queries[i]
+				q := core.Query{Sources: dedupe(bq.Sources), Targets: dedupe(bq.Targets), K: bq.K}
+				paths, err := fn(g.g, q, workerOpt)
+				if err != nil {
+					results[i].Err = err
+					continue
+				}
+				out := make([]Path, len(paths))
+				for j, p := range paths {
+					out[j] = Path{Nodes: p.Nodes, Length: p.Length}
+				}
+				results[i].Paths = out
+			}
+			if copt.Stats != nil {
+				mu.Lock()
+				merged.Add(st)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if opt != nil && opt.Stats != nil {
+		opt.Stats.Add(merged)
+	}
+	return results
+}

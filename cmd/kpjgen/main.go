@@ -1,0 +1,88 @@
+// Command kpjgen generates synthetic road networks with POI categories and
+// writes them to disk in DIMACS ".gr" format plus a "<category> <node>"
+// POI file — the inputs kpjquery consumes.
+//
+// Usage:
+//
+//	kpjgen -dataset SJ -scale 0.5 -out sj          # sj.gr + sj.pois
+//	kpjgen -width 200 -height 150 -pois cal -out g # custom grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kpj/internal/gen"
+	"kpj/internal/graph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "named dataset (SJ, CAL, SF, COL, FLA, USA); overrides -width/-height")
+	width := flag.Int("width", 100, "grid width (custom graphs)")
+	height := flag.Int("height", 100, "grid height (custom graphs)")
+	scale := flag.Float64("scale", 1.0, "linear scale for named datasets")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	pois := flag.String("pois", "nested", "POI scheme: nested (T1..T4), cal (Glacier/Lake/Crater/Harbor), both")
+	out := flag.String("out", "kpjdata", "output path prefix")
+	flag.Parse()
+
+	if err := run(*dataset, *width, *height, *scale, *seed, *pois, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "kpjgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, width, height int, scale float64, seed int64, pois, out string) error {
+	var g *graph.Graph
+	var err error
+	if dataset != "" {
+		ds, derr := gen.ByName(dataset)
+		if derr != nil {
+			return derr
+		}
+		g, err = ds.Build(scale, seed)
+	} else {
+		g, err = gen.Road(gen.RoadConfig{Width: width, Height: height, Seed: seed})
+	}
+	if err != nil {
+		return err
+	}
+
+	switch pois {
+	case "nested":
+		_, err = gen.AddNestedCategories(g, seed+1)
+	case "cal":
+		_, err = gen.AddCALCategories(g, seed+1)
+	case "both":
+		if _, err = gen.AddNestedCategories(g, seed+1); err == nil {
+			_, err = gen.AddCALCategories(g, seed+2)
+		}
+	default:
+		return fmt.Errorf("unknown POI scheme %q (want nested, cal, or both)", pois)
+	}
+	if err != nil {
+		return err
+	}
+
+	grPath, poiPath := out+".gr", out+".pois"
+	gf, err := os.Create(grPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	if err := graph.WriteGr(gf, g); err != nil {
+		return err
+	}
+	pf, err := os.Create(poiPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := graph.WriteCategories(pf, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes, %d edges) and %s (categories: %v)\n",
+		grPath, g.NumNodes(), g.NumEdges(), poiPath, g.Categories())
+	return nil
+}

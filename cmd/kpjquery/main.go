@@ -1,0 +1,137 @@
+// Command kpjquery runs ad-hoc KPJ / KSP / GKPJ queries against a graph on
+// disk (DIMACS ".gr" plus a POI category file, e.g. from kpjgen).
+//
+// Usage:
+//
+//	kpjquery -graph sj.gr -pois sj.pois -source 42 -category T2 -k 5
+//	kpjquery -graph sj.gr -pois sj.pois -source-category T1 -category T2 -k 5 -alg DA-SPT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kpj"
+)
+
+var algorithms = map[string]kpj.Algorithm{
+	"IterBoundI": kpj.IterBoundSPTI,
+	"IterBoundP": kpj.IterBoundSPTP,
+	"IterBound":  kpj.IterBound,
+	"BestFirst":  kpj.BestFirst,
+	"DA":         kpj.DA,
+	"DA-SPT":     kpj.DASPT,
+}
+
+func main() {
+	graphPath := flag.String("graph", "", "DIMACS .gr file (required)")
+	poisPath := flag.String("pois", "", "POI category file")
+	source := flag.Int("source", -1, "source node id (KPJ/KSP)")
+	sourceCat := flag.String("source-category", "", "source category (GKPJ)")
+	category := flag.String("category", "", "destination category (required)")
+	k := flag.Int("k", 10, "number of paths")
+	alg := flag.String("alg", "IterBoundI", "algorithm: "+strings.Join(algoNames(), ", "))
+	landmarks := flag.Int("landmarks", 16, "landmark count (0 disables the index)")
+	indexPath := flag.String("index", "", "prebuilt index file from kpjindex (overrides -landmarks)")
+	alpha := flag.Float64("alpha", 1.1, "tau growth factor")
+	seed := flag.Int64("seed", 1, "landmark selection seed")
+	trace := flag.Bool("trace", false, "print an EXPLAIN-style engine trace to stderr")
+	flag.Parse()
+
+	if err := run(*graphPath, *poisPath, *source, *sourceCat, *category, *k, *alg, *landmarks, *indexPath, *alpha, *seed, *trace); err != nil {
+		fmt.Fprintf(os.Stderr, "kpjquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func algoNames() []string {
+	names := make([]string, 0, len(algorithms))
+	for n := range algorithms {
+		names = append(names, n)
+	}
+	return names
+}
+
+func run(graphPath, poisPath string, source int, sourceCat, category string, k int, alg string, landmarks int, indexPath string, alpha float64, seed int64, trace bool) error {
+	if graphPath == "" || category == "" {
+		return fmt.Errorf("-graph and -category are required")
+	}
+	algo, ok := algorithms[alg]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (want one of %s)", alg, strings.Join(algoNames(), ", "))
+	}
+
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, err := kpj.ReadGraph(gf)
+	if err != nil {
+		return err
+	}
+	if poisPath != "" {
+		pf, err := os.Open(poisPath)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := g.ReadCategories(pf); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("graph: %d nodes, %d edges, categories %v\n", g.NumNodes(), g.NumEdges(), g.Categories())
+
+	opt := &kpj.Options{Algorithm: algo, Alpha: alpha, Stats: &kpj.Stats{}}
+	if trace {
+		opt.Trace = os.Stderr
+	}
+	switch {
+	case indexPath != "":
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		start := time.Now()
+		ix, err := kpj.LoadIndex(f, g)
+		if err != nil {
+			return err
+		}
+		opt.Index = ix
+		fmt.Printf("index: %d landmarks loaded from %s in %v\n", ix.Count(), indexPath, time.Since(start).Round(time.Millisecond))
+	case landmarks > 0:
+		start := time.Now()
+		ix, err := kpj.BuildIndex(g, landmarks, seed)
+		if err != nil {
+			return err
+		}
+		opt.Index = ix
+		fmt.Printf("index: %d landmarks, %d bytes, built in %v\n", ix.Count(), ix.SizeBytes(), time.Since(start).Round(time.Millisecond))
+	}
+
+	var paths []kpj.Path
+	start := time.Now()
+	switch {
+	case sourceCat != "":
+		paths, err = g.TopKCategoryJoin(sourceCat, category, k, opt)
+	case source >= 0:
+		paths, err = g.TopKJoin(kpj.NodeID(source), category, k, opt)
+	default:
+		return fmt.Errorf("one of -source or -source-category is required")
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	for i, p := range paths {
+		fmt.Printf("P%-3d length=%-10d nodes=%v\n", i+1, p.Length, p.Nodes)
+	}
+	fmt.Printf("%d paths in %v (%s, alpha=%.2f)  stats: %+v\n",
+		len(paths), elapsed.Round(time.Microsecond), alg, alpha, *opt.Stats)
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command kpjserver serves KPJ / KSP / GKPJ queries over HTTP for a graph
+// on disk, with an optional prebuilt landmark index.
+//
+// Usage:
+//
+//	kpjserver -graph sj.gr -pois sj.pois -index sj.idx -addr :8080
+//
+// Endpoints (see internal/server):
+//
+//	GET  /healthz
+//	GET  /categories
+//	GET  /query?source=42&category=T2&k=5[&alg=IterBoundI][&alpha=1.1][&stats=1]
+//	POST /batch   with a JSON array of {sources|sourceCategory, targets|category, k}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"kpj"
+	"kpj/internal/server"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "DIMACS .gr file (required)")
+	poisPath := flag.String("pois", "", "POI category file")
+	indexPath := flag.String("index", "", "prebuilt index file from kpjindex")
+	landmarks := flag.Int("landmarks", 0, "build an index with this many landmarks when no -index is given")
+	seed := flag.Int64("seed", 1, "landmark selection seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxK := flag.Int("maxk", 1000, "per-request k limit")
+	flag.Parse()
+
+	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK); err != nil {
+		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, err := kpj.ReadGraph(gf)
+	if err != nil {
+		return err
+	}
+	if poisPath != "" {
+		pf, err := os.Open(poisPath)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := g.ReadCategories(pf); err != nil {
+			return err
+		}
+	}
+
+	var ix *kpj.Index
+	switch {
+	case indexPath != "":
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if ix, err = kpj.LoadIndex(f, g); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d-landmark index from %s\n", ix.Count(), indexPath)
+	case landmarks > 0:
+		start := time.Now()
+		if ix, err = kpj.BuildIndex(g, landmarks, seed); err != nil {
+			return err
+		}
+		fmt.Printf("built %d-landmark index in %v\n", ix.Count(), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(g, ix, server.WithMaxK(maxK)),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving %d nodes / %d edges (categories %v) on %s\n",
+		g.NumNodes(), g.NumEdges(), g.Categories(), addr)
+	return srv.ListenAndServe()
+}

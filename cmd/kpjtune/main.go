@@ -1,0 +1,91 @@
+// Command kpjtune grid-searches the landmark count |L| and bounding
+// factor α for a graph + destination category (the parameter selection the
+// paper performs by hand in Fig. 6), then optionally saves the winning
+// index for kpjquery -index.
+//
+// Usage:
+//
+//	kpjtune -graph sj.gr -pois sj.pois -category T2 [-out sj.idx]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kpj"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "DIMACS .gr file (required)")
+	poisPath := flag.String("pois", "", "POI category file (required)")
+	category := flag.String("category", "", "destination category to tune for (required)")
+	samples := flag.Int("samples", 16, "sampled queries per configuration")
+	k := flag.Int("k", 20, "k used for the sampled queries")
+	seed := flag.Int64("seed", 1, "sampling / selection seed")
+	out := flag.String("out", "", "save the winning index here (optional)")
+	flag.Parse()
+
+	if err := run(*graphPath, *poisPath, *category, *samples, *k, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "kpjtune: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, poisPath, category string, samples, k int, seed int64, out string) error {
+	if graphPath == "" || poisPath == "" || category == "" {
+		return fmt.Errorf("-graph, -pois and -category are required")
+	}
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, err := kpj.ReadGraph(gf)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(poisPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := g.ReadCategories(pf); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	rep, err := g.Tune(category, &kpj.TuneOptions{SampleQueries: samples, K: k, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuned %q on %d nodes in %v (%d configurations, %d sampled queries each)\n",
+		category, g.NumNodes(), time.Since(start).Round(time.Millisecond), len(rep.Trials), samples)
+	fmt.Printf("%-10s  %-6s  %s\n", "landmarks", "alpha", "work (pops+relaxations)")
+	for _, tr := range rep.Trials {
+		marker := ""
+		if tr.Landmarks == rep.Landmarks && tr.Alpha == rep.Alpha {
+			marker = "  <= winner"
+		}
+		fmt.Printf("%-10d  %-6.2f  %d%s\n", tr.Landmarks, tr.Alpha, tr.Cost, marker)
+	}
+	fmt.Printf("\nrecommendation: landmarks=%d alpha=%.2f\n", rep.Landmarks, rep.Alpha)
+
+	if out != "" && rep.Index != nil {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := rep.Index.WriteTo(f)
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved winning index (%d bytes) to %s\n", n, out)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Quickstart: build the paper's running-example graph (Fig. 1), ask for
+// the top-3 shortest paths from v1 to the "hotel" category, and print them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kpj"
+)
+
+func main() {
+	// The graph of the paper's Fig. 1: 15 nodes (v1..v15 = ids 0..14),
+	// bidirectional road segments, hotels at v4, v6, v7.
+	b := kpj.NewBuilder(15)
+	type edge struct {
+		u, v kpj.NodeID
+		w    kpj.Weight
+	}
+	for _, e := range []edge{
+		{0, 1, 1}, {0, 7, 2}, {0, 2, 3}, {0, 10, 1},
+		{7, 6, 3}, {7, 8, 10}, {7, 9, 8}, {1, 9, 8}, {8, 9, 1},
+		{2, 3, 5}, {2, 4, 2}, {2, 5, 3}, {2, 6, 4}, {4, 5, 2},
+		{5, 14, 2}, {10, 11, 1}, {11, 12, 1}, {12, 6, 10},
+		{12, 13, 10}, {13, 6, 10},
+	} {
+		b.AddBiEdge(e.u, e.v, e.w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.AddCategory("hotel", []kpj.NodeID{3, 5, 6}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Top-3 shortest paths from v1 (id 0) to any hotel, using the default
+	// algorithm (IterBound-SPT_I) without a landmark index.
+	paths, err := g.TopKJoin(0, "hotel", 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-3 shortest paths from v1 to a hotel:")
+	for i, p := range paths {
+		fmt.Printf("  P%d: length %d via %v\n", i+1, p.Length, p.Nodes)
+	}
+
+	// The same query as a classical KSP to one specific hotel (v7 = id 6).
+	ksp, err := g.TopK(0, 6, 2, &kpj.Options{Algorithm: kpj.BestFirst})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-2 shortest paths from v1 to hotel v7 (KSP special case):")
+	for i, p := range ksp {
+		fmt.Printf("  P%d: length %d via %v\n", i+1, p.Length, p.Nodes)
+	}
+}

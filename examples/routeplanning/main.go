@@ -1,0 +1,93 @@
+// Route planning: the paper's motivating scenario of driving to "any IKEA".
+//
+// A synthetic city grid is built through the public API, a handful of
+// store locations form the destination category, and the program prints
+// the top-k alternative routes from home to the nearest stores — then
+// compares the flagship algorithm against the deviation baseline on the
+// same query.
+//
+//	go run ./examples/routeplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"kpj"
+)
+
+const (
+	gridW = 120
+	gridH = 120
+	k     = 5
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A 120×120 street grid with jittered segment lengths (metres).
+	b := kpj.NewBuilder(gridW * gridH)
+	id := func(x, y int) kpj.NodeID { return kpj.NodeID(y*gridW + x) }
+	for y := 0; y < gridH; y++ {
+		for x := 0; x < gridW; x++ {
+			if x+1 < gridW {
+				b.AddBiEdge(id(x, y), id(x+1, y), 80+rng.Int63n(120))
+			}
+			if y+1 < gridH {
+				b.AddBiEdge(id(x, y), id(x, y+1), 80+rng.Int63n(120))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Six store locations scattered over the city.
+	stores := make([]kpj.NodeID, 0, 6)
+	for len(stores) < 6 {
+		stores = append(stores, id(rng.Intn(gridW), rng.Intn(gridH)))
+	}
+	if err := g.AddCategory("IKEA", stores); err != nil {
+		log.Fatal(err)
+	}
+
+	// A landmark index pays off when many queries hit the same graph.
+	start := time.Now()
+	ix, err := kpj.BuildIndex(g, 16, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d junctions, %d street segments; landmark index (%d landmarks) built in %v\n",
+		g.NumNodes(), g.NumEdges(), ix.Count(), time.Since(start).Round(time.Millisecond))
+
+	home := id(3, 5) // far corner of town
+	fmt.Printf("\ntop-%d routes from junction %d to any IKEA:\n", k, home)
+	opt := &kpj.Options{Index: ix} // default algorithm: IterBound-SPT_I
+	start = time.Now()
+	routes, err := g.TopKJoin(home, "IKEA", k, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i, r := range routes {
+		fmt.Printf("  route %d: %5dm, %3d junctions, arrives at store %d\n",
+			i+1, r.Length, len(r.Nodes), r.Nodes[len(r.Nodes)-1])
+	}
+	fmt.Printf("  (answered in %v)\n", elapsed.Round(time.Microsecond))
+
+	// The same query with the deviation baseline, for comparison.
+	fmt.Println("\nsame query per algorithm:")
+	for _, algo := range []kpj.Algorithm{kpj.IterBoundSPTI, kpj.IterBoundSPTP, kpj.BestFirst, kpj.DASPT, kpj.DA} {
+		var st kpj.Stats
+		start := time.Now()
+		got, err := g.TopKJoin(home, "IKEA", k, &kpj.Options{Algorithm: algo, Index: ix, Stats: &st})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11v %8v  (%d paths, %d queue pops)\n",
+			algo, time.Since(start).Round(time.Microsecond), len(got), st.NodesPopped)
+	}
+}

@@ -1,0 +1,3 @@
+module kpj
+
+go 1.22

@@ -1,0 +1,68 @@
+// Package bruteforce enumerates top-k shortest simple paths exhaustively.
+// It is the test oracle for every KPJ algorithm: on graphs small enough for
+// complete enumeration it produces the exact answer by definition.
+package bruteforce
+
+import (
+	"sort"
+
+	"kpj/internal/graph"
+)
+
+// Path is an oracle result path. The oracle deliberately does not depend
+// on the packages it validates.
+type Path struct {
+	Nodes  []graph.NodeID
+	Length graph.Weight
+}
+
+// TopK returns the k shortest simple paths from any node of sources to any
+// node of targets, in non-decreasing length order (fewer if fewer exist).
+// A source that itself belongs to targets contributes a single-node path
+// of length 0. Intended for small graphs only: worst-case cost is the
+// number of simple paths, which is factorial in the node count.
+func TopK(g *graph.Graph, sources, targets []graph.NodeID, k int) []Path {
+	isTarget := make([]bool, g.NumNodes())
+	for _, t := range targets {
+		isTarget[t] = true
+	}
+	var all []Path
+	onPath := make([]bool, g.NumNodes())
+	var cur []graph.NodeID
+
+	var dfs func(v graph.NodeID, length graph.Weight)
+	dfs = func(v graph.NodeID, length graph.Weight) {
+		onPath[v] = true
+		cur = append(cur, v)
+		if isTarget[v] {
+			all = append(all, Path{
+				Nodes:  append([]graph.NodeID(nil), cur...),
+				Length: length,
+			})
+		}
+		for _, e := range g.Out(v) {
+			if !onPath[e.To] {
+				dfs(e.To, length+e.W)
+			}
+		}
+		cur = cur[:len(cur)-1]
+		onPath[v] = false
+	}
+	for _, s := range sources {
+		dfs(s, 0)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Length < all[j].Length })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Lengths extracts the length sequence of a path list.
+func Lengths(paths []Path) []graph.Weight {
+	out := make([]graph.Weight, len(paths))
+	for i, p := range paths {
+		out[i] = p.Length
+	}
+	return out
+}

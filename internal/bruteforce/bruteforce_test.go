@@ -1,0 +1,69 @@
+package bruteforce
+
+import (
+	"reflect"
+	"testing"
+
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+func TestTopKByHand(t *testing.T) {
+	// 0→1 (1), 1→2 (1), 0→2 (5); targets {2}.
+	g, err := graph.NewBuilder(3).AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(0, 2, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TopK(g, []graph.NodeID{0}, []graph.NodeID{2}, 10)
+	want := []Path{
+		{Nodes: []graph.NodeID{0, 1, 2}, Length: 2},
+		{Nodes: []graph.NodeID{0, 2}, Length: 5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(Lengths(got), []graph.Weight{2, 5}) {
+		t.Fatalf("Lengths = %v", Lengths(got))
+	}
+}
+
+func TestTopKTruncatesAtK(t *testing.T) {
+	g := testgraphs.Fig1()
+	hotels, _ := g.Category(testgraphs.HotelCategory)
+	got := TopK(g, []graph.NodeID{testgraphs.V1}, hotels, 5)
+	if !reflect.DeepEqual(Lengths(got), testgraphs.Fig1TopLengths) {
+		t.Fatalf("Fig1 oracle lengths = %v, want %v", Lengths(got), testgraphs.Fig1TopLengths)
+	}
+}
+
+func TestTopKSourceIsTarget(t *testing.T) {
+	g, err := graph.NewBuilder(2).AddBiEdge(0, 1, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TopK(g, []graph.NodeID{0}, []graph.NodeID{0, 1}, 5)
+	if len(got) != 2 || got[0].Length != 0 || len(got[0].Nodes) != 1 || got[1].Length != 3 {
+		t.Fatalf("TopK = %v", got)
+	}
+}
+
+func TestTopKMultipleSources(t *testing.T) {
+	g, err := graph.NewBuilder(3).AddEdge(0, 2, 4).AddEdge(1, 2, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TopK(g, []graph.NodeID{0, 1}, []graph.NodeID{2}, 5)
+	if len(got) != 2 || got[0].Length != 1 || got[0].Nodes[0] != 1 || got[1].Length != 4 {
+		t.Fatalf("TopK = %v", got)
+	}
+}
+
+func TestTopKUnreachable(t *testing.T) {
+	g, err := graph.NewBuilder(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TopK(g, []graph.NodeID{0}, []graph.NodeID{1}, 3); len(got) != 0 {
+		t.Fatalf("TopK = %v, want empty", got)
+	}
+}

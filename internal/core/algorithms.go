@@ -1,0 +1,161 @@
+package core
+
+import (
+	"kpj/internal/graph"
+)
+
+// This file wires the engine into the paper's four contributed algorithms.
+// Each processes the same Query; they differ in search space, heuristics,
+// and bounding discipline:
+//
+//	BestFirst        Section 4   forward space, exact subspace resolution
+//	IterBound        Section 5.1 forward space, TestLB with growing τ
+//	IterBoundSPTP    Section 5.2 + partial SPT heuristic from Alg. 6
+//	IterBoundSPTI    Section 5.3 reverse space + incremental SPT pruning
+//
+// Passing a nil Options.Index runs each variant without landmarks
+// (Section 6); for IterBoundSPTI that is exactly the paper's
+// IterBound_I-NL algorithm.
+
+// forwardHeuristic picks the Eq. 2 category bound when landmarks are
+// available, the zero heuristic otherwise.
+func forwardHeuristic(sp *Space, q Query, opt *Options) Heuristic {
+	if opt.Index == nil {
+		return ZeroHeuristic{}
+	}
+	return CategoryHeuristic{Space: sp, Bounds: opt.Index.BoundsToSet(q.Targets)}
+}
+
+// reverseHeuristic bounds the remaining distance toward the source side of
+// a reverse space.
+func reverseHeuristic(sp *Space, q Query, opt *Options) Heuristic {
+	if opt.Index == nil {
+		return ZeroHeuristic{}
+	}
+	if len(q.Sources) == 1 {
+		return SourceHeuristic{Space: sp, Index: opt.Index, Source: q.Sources[0]}
+	}
+	return SourceSetHeuristic{Space: sp, Bounds: opt.Index.BoundsFromSet(q.Sources)}
+}
+
+// BestFirst processes a query with the best-first paradigm (paper Alg. 2):
+// subspaces are resolved exactly, in lower-bound order, so only subspaces
+// whose lower bound beats the current k-th length ever pay for a shortest
+// path computation.
+func BestFirst(g *graph.Graph, q Query, opt Options) ([]Path, error) {
+	ws, err := Prepare(g, q, &opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := NewForwardSpace(g, q.Sources, q.Targets)
+	h := forwardHeuristic(sp, q, &opt)
+	e := &engine{
+		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
+		searchH: h, lbH: h,
+		alpha:   0, // exact resolution
+		stats:   opt.Stats,
+		onEvent: opt.Trace,
+	}
+	return e.run(), nil
+}
+
+// IterBound processes a query with the iteratively bounding approach
+// (paper Alg. 4): unresolved subspaces are tested against a threshold τ
+// that grows geometrically by Options.Alpha, so most subspaces are pruned
+// by cheap bounded searches instead of full shortest path computations.
+func IterBound(g *graph.Graph, q Query, opt Options) ([]Path, error) {
+	ws, err := Prepare(g, q, &opt, true)
+	if err != nil {
+		return nil, err
+	}
+	sp := NewForwardSpace(g, q.Sources, q.Targets)
+	h := forwardHeuristic(sp, q, &opt)
+	e := &engine{
+		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
+		searchH: h, lbH: h,
+		alpha:   opt.Alpha,
+		stats:   opt.Stats,
+		onEvent: opt.Trace,
+	}
+	return e.run(), nil
+}
+
+// IterBoundSPTP is IterBound with the partial shortest path tree of
+// Section 5.2: the first shortest path computation leaves behind exact
+// remaining-distances for every node it settled (SPT_P), which then
+// sharpen all later lower-bound tests at zero extra build cost.
+func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
+	ws, err := Prepare(g, q, &opt, true)
+	if err != nil {
+		return nil, err
+	}
+	sp := NewForwardSpace(g, q.Sources, q.Targets)
+	rev := NewReverseSpace(g, q.Sources, q.Targets)
+	dt, settled, init, ok := buildPartialSPT(rev, reverseHeuristic(rev, q, &opt), opt.Stats)
+	if !ok {
+		return nil, nil
+	}
+	h := TreeHeuristic{Dist: dt, Settled: settled, Fallback: forwardHeuristic(sp, q, &opt)}
+	e := &engine{
+		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
+		searchH: h, lbH: h,
+		alpha:   opt.Alpha,
+		initial: func() (SearchResult, bool) { return init, true },
+		stats:   opt.Stats,
+		onEvent: opt.Trace,
+	}
+	return e.run(), nil
+}
+
+// IterBoundSPTI is the paper's flagship algorithm (Section 5.3): the
+// search runs in the reverse space, every exploration is confined to the
+// incremental shortest path tree SPT_I — which grows lazily with τ — and
+// remaining-distance estimates inside SPT_I are exact. With a nil index
+// this is the paper's IterBound_I-NL variant.
+func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
+	ws, err := Prepare(g, q, &opt, true)
+	if err != nil {
+		return nil, err
+	}
+	fwd := NewForwardSpace(g, q.Sources, q.Targets)
+	rev := NewReverseSpace(g, q.Sources, q.Targets)
+	tree := newSPTI(fwd, forwardHeuristic(fwd, q, &opt), opt.Stats)
+	init, ok := tree.initialPath()
+	if !ok {
+		return nil, nil
+	}
+	h := sptiHeuristic{t: tree, fallback: reverseHeuristic(rev, q, &opt)}
+	e := &engine{
+		sp: rev, pt: NewPseudoTree(rev.Root), ws: ws, k: q.K,
+		searchH:       h,
+		lbH:           h,
+		pruner:        sptiPruner{t: tree},
+		lbRootPruner:  sptiPruner{t: tree},
+		alpha:         opt.Alpha,
+		beforeResolve: func(tau graph.Weight) { tree.growTo(tau) },
+		initial:       func() (SearchResult, bool) { return init, true },
+		stats:         opt.Stats,
+		onEvent:       opt.Trace,
+	}
+	return e.run(), nil
+}
+
+// Func is the common algorithm signature, used by the experiment drivers
+// and cross-validation tests.
+type Func func(*graph.Graph, Query, Options) ([]Path, error)
+
+// Algorithms enumerates the contributed algorithms by their paper names.
+// The deviation baselines (DA, DA-SPT) live in the internal/deviation
+// package and are registered separately by callers that need them.
+func Algorithms() map[string]Func {
+	return map[string]Func{
+		"BestFirst":  BestFirst,
+		"IterBound":  IterBound,
+		"IterBoundP": IterBoundSPTP,
+		"IterBoundI": IterBoundSPTI,
+		"IterBoundI-NL": func(g *graph.Graph, q Query, opt Options) ([]Path, error) {
+			opt.Index = nil
+			return IterBoundSPTI(g, q, opt)
+		},
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// entry is one element of the global subspace queue Q (paper Alg. 2/4):
+// the subspace of pseudo-tree vertex `vertex`, keyed by `key` which is
+// either the subspace lower bound (unresolved) or the exact length of its
+// shortest path (resolved, res != nil).
+type entry struct {
+	vertex VertexID
+	key    graph.Weight
+	res    *SearchResult
+	seq    uint64 // FIFO tie-break for deterministic output order
+}
+
+func lessEntry(a, b entry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	// Prefer resolved entries on ties: their path is already known to be
+	// optimal at this key, so output it before spending work elsewhere.
+	ar, br := a.res != nil, b.res != nil
+	if ar != br {
+		return ar
+	}
+	return a.seq < b.seq
+}
+
+// engine runs the best-first paradigm (Alg. 2) or, when alpha > 1 with a
+// finite bound schedule, the iteratively bounding approach (Alg. 4). The
+// algorithm variants differ only in the fields they plug in.
+type engine struct {
+	sp *Space
+	pt *PseudoTree
+	ws *Workspace
+	k  int
+
+	searchH      Heuristic // heuristic for CompSP / TestLB
+	lbH          Heuristic // heuristic for CompLB (Alg. 3 / Alg. 8)
+	pruner       Pruner    // search restriction (SPT_I); nil = none
+	lbRootPruner Pruner    // Alg. 8's D-restriction at the virtual root; nil = none
+
+	alpha float64 // >1: TestLB with growing τ; <=0: exact resolution (BestFirst)
+
+	// beforeResolve is invoked with τ before each TestLB so SPT_I can
+	// grow to cover the ≤τ neighbourhood (Prop. 5.2). Nil for others.
+	beforeResolve func(tau graph.Weight)
+
+	// initial produces the shortest path of the entire space S_0 (Alg. 4
+	// line 1). Nil falls back to an unrestricted SubspaceSearch, which is
+	// what Alg. 2 does.
+	initial func() (SearchResult, bool)
+
+	stats   *Stats
+	onEvent TraceFunc
+	seq     uint64
+}
+
+// nextTau implements Alg. 4 line 9 with integer-safe strict growth:
+// τ' = α·max{lb(S), Q.top().key}, forced above the previous bound so the
+// iteration always makes progress even for tiny or zero lengths.
+func (e *engine) nextTau(lb graph.Weight, top graph.Weight, haveTop bool) graph.Weight {
+	if e.alpha <= 0 {
+		return graph.Infinity
+	}
+	m := lb
+	if haveTop && top > m {
+		m = top
+	}
+	t := graph.Weight(math.Ceil(e.alpha * float64(m)))
+	if t <= lb {
+		t = lb + 1
+	}
+	if t > graph.Infinity {
+		t = graph.Infinity
+	}
+	return t
+}
+
+// run executes the main loop and returns up to k paths in non-decreasing
+// length order.
+func (e *engine) run() []Path {
+	q := pqueue.NewHeap[entry](lessEntry)
+	push := func(v VertexID, key graph.Weight, res *SearchResult) {
+		e.seq++
+		q.Push(entry{vertex: v, key: key, res: res, seq: e.seq})
+	}
+
+	// Seed with the shortest path of the whole space.
+	var first SearchResult
+	var ok bool
+	if e.initial != nil {
+		first, ok = e.initial()
+	} else {
+		var status SearchStatus
+		first, status = e.ws.SubspaceSearch(e.sp, e.pt, 0, e.searchH, graph.Infinity, e.pruner, e.stats)
+		ok = status == Found
+	}
+	if !ok {
+		return nil
+	}
+	push(0, first.Total, &first)
+	e.trace(Event{Kind: EventEnqueue, Vertex: 0, Node: e.pt.Node(0), Length: first.Total})
+
+	var out []Path
+	for len(out) < e.k && q.Len() > 0 {
+		ent := q.Pop()
+		if ent.res == nil {
+			// Unresolved: tighten (IterBound) or solve exactly (BestFirst).
+			var top graph.Weight
+			haveTop := q.Len() > 0
+			if haveTop {
+				top = q.Top().key
+			}
+			tau := e.nextTau(ent.key, top, haveTop)
+			if e.beforeResolve != nil {
+				e.beforeResolve(tau)
+			}
+			res, status := e.ws.SubspaceSearch(e.sp, e.pt, ent.vertex, e.searchH, tau, e.pruner, e.stats)
+			switch status {
+			case Found:
+				push(ent.vertex, res.Total, &res)
+			case Exceeded:
+				if e.stats != nil {
+					e.stats.TauRounds++
+				}
+				push(ent.vertex, tau, nil)
+			case Empty:
+				// drop: the subspace holds no path
+			}
+			e.trace(Event{Kind: EventResolve, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex),
+				Length: res.Total, Tau: tau, Status: status})
+			continue
+		}
+
+		// Resolved: output the path and divide the subspace (Alg. 2
+		// lines 6-10).
+		res := ent.res
+		full := append(e.pt.PrefixPath(ent.vertex), res.Suffix...)
+		out = append(out, e.sp.Materialize(full, res.Total))
+		e.trace(Event{Kind: EventEmit, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex), Length: res.Total})
+		if len(out) == e.k {
+			break
+		}
+		created := e.pt.InsertSuffix(ent.vertex, res.Suffix, res.Lens)
+		// New subspaces: the deviation vertex itself (its X grew) and
+		// every suffix vertex except the goal (whose subspace is empty).
+		enqueue := func(v VertexID) {
+			if e.pt.Node(v) == e.sp.Goal {
+				return
+			}
+			var rootPruner Pruner
+			if e.lbRootPruner != nil && e.pt.Node(v) == e.sp.Root {
+				rootPruner = e.lbRootPruner
+			}
+			lb := e.ws.CompLB(e.sp, e.pt, v, e.lbH, rootPruner, e.stats)
+			if lb >= graph.Infinity {
+				e.trace(Event{Kind: EventDrop, Vertex: v, Node: e.pt.Node(v), Length: lb})
+				return // provably empty subspace
+			}
+			if lb < res.Total {
+				lb = res.Total // Alg. 2 line 9: floor at ω(P)
+			}
+			push(v, lb, nil)
+			e.trace(Event{Kind: EventEnqueue, Vertex: v, Node: e.pt.Node(v), Length: lb})
+		}
+		enqueue(ent.vertex)
+		for _, v := range created {
+			enqueue(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import "kpj/internal/graph"
+
+// VertexID identifies a vertex of a PseudoTree. The paper distinguishes
+// pseudo-tree *vertices* from graph *nodes* because the same graph node may
+// appear at several tree positions (Section 3).
+type VertexID = int32
+
+// PseudoTree is the trie of already-output paths (paper Section 3). Every
+// vertex doubles as a subspace of the best-first paradigm (Section 4):
+// vertex u represents the subspace ⟨P_{root,u}, X_u⟩ where P_{root,u} is
+// the tree path from the root to u and X_u is exactly the set of u's tree
+// child edges — the edges consumed by previously output paths. This
+// identification means no explicit excluded-edge sets are stored.
+type PseudoTree struct {
+	node   []graph.NodeID   // vertex -> space node
+	parent []VertexID       // vertex -> parent vertex (-1 at root)
+	plen   []graph.Weight   // vertex -> length of the root→vertex prefix
+	kids   [][]graph.NodeID // vertex -> space nodes of its tree children (X_u)
+}
+
+// NewPseudoTree returns a tree holding only the root vertex (vertex 0) for
+// the given space root node — the paper's PT_0.
+func NewPseudoTree(root graph.NodeID) *PseudoTree {
+	return &PseudoTree{
+		node:   []graph.NodeID{root},
+		parent: []VertexID{-1},
+		plen:   []graph.Weight{0},
+		kids:   [][]graph.NodeID{nil},
+	}
+}
+
+// Len returns the number of vertices.
+func (t *PseudoTree) Len() int { return len(t.node) }
+
+// Node returns the space node of vertex u.
+func (t *PseudoTree) Node(u VertexID) graph.NodeID { return t.node[u] }
+
+// PrefixLen returns the length of the root→u tree path.
+func (t *PseudoTree) PrefixLen(u VertexID) graph.Weight { return t.plen[u] }
+
+// Parent returns u's parent vertex, -1 for the root.
+func (t *PseudoTree) Parent(u VertexID) VertexID { return t.parent[u] }
+
+// Excluded returns X_u: the space nodes reached by u's tree child edges,
+// i.e. the first hops banned in u's subspace. The slice must not be
+// modified and is invalidated by InsertSuffix.
+func (t *PseudoTree) Excluded(u VertexID) []graph.NodeID { return t.kids[u] }
+
+// PrefixNodes calls visit for every space node on the root→u tree path,
+// from u back to the root (u itself included).
+func (t *PseudoTree) PrefixNodes(u VertexID, visit func(graph.NodeID)) {
+	for v := u; v >= 0; v = t.parent[v] {
+		visit(t.node[v])
+	}
+}
+
+// PrefixPath returns the root→u node sequence in forward order.
+func (t *PseudoTree) PrefixPath(u VertexID) []graph.NodeID {
+	var rev []graph.NodeID
+	t.PrefixNodes(u, func(v graph.NodeID) { rev = append(rev, v) })
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// InsertSuffix records an output path that deviates from the tree at
+// vertex d: suffix is the node sequence after d's node (so the full path is
+// PrefixPath(d) + suffix), and suffixLens[i] is the length of the full path
+// up to and including suffix[i]. It creates one new vertex per suffix node,
+// linking d→suffix[0]→…, and returns the new vertex ids in order. This is
+// the pseudo-tree update of the paper's Alg. 1 line 5 / Alg. 2 line 8.
+func (t *PseudoTree) InsertSuffix(d VertexID, suffix []graph.NodeID, suffixLens []graph.Weight) []VertexID {
+	if len(suffix) != len(suffixLens) {
+		panic("core: suffix/lengths size mismatch")
+	}
+	created := make([]VertexID, len(suffix))
+	prev := d
+	for i, nd := range suffix {
+		u := VertexID(len(t.node))
+		t.node = append(t.node, nd)
+		t.parent = append(t.parent, prev)
+		t.plen = append(t.plen, suffixLens[i])
+		t.kids = append(t.kids, nil)
+		t.kids[prev] = append(t.kids[prev], nd)
+		created[i] = u
+		prev = u
+	}
+	return created
+}

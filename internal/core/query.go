@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"kpj/internal/graph"
+	"kpj/internal/landmark"
+)
+
+// Query is a resolved top-k shortest path join: find the K shortest simple
+// paths from any node of Sources to any node of Targets. KSP queries have
+// singleton Sources and Targets; KPJ queries a singleton Sources; GKPJ
+// queries allow both to be sets (paper Sections 2, 3, 6).
+type Query struct {
+	Sources []graph.NodeID
+	Targets []graph.NodeID
+	K       int
+}
+
+// Options tunes the algorithms.
+type Options struct {
+	// Alpha controls how aggressively the iteratively bounding approaches
+	// enlarge the testing threshold τ (paper Section 5.1). It must exceed
+	// 1; the paper's default is 1.1. Ignored by BestFirst and the
+	// deviation baselines.
+	Alpha float64
+	// Index supplies landmark lower bounds. Nil runs the "-NL" variants
+	// (all landmark bounds treated as 0, Section 6).
+	Index *landmark.Index
+	// Workspace optionally reuses scratch state across queries on the
+	// same graph. Nil allocates a fresh one.
+	Workspace *Workspace
+	// Stats, when non-nil, accumulates work counters for the query.
+	Stats *Stats
+	// Trace, when non-nil, receives one Event per engine step — the
+	// EXPLAIN-style view of which subspaces were divided, bounded, and
+	// pruned.
+	Trace TraceFunc
+}
+
+// DefaultAlpha is the paper's default τ growth factor.
+const DefaultAlpha = 1.1
+
+// Errors reported by query validation.
+var (
+	ErrBadK      = errors.New("core: k must be positive")
+	ErrNoSources = errors.New("core: query has no source nodes")
+	ErrNoTargets = errors.New("core: query has no target nodes")
+	ErrBadAlpha  = errors.New("core: alpha must be greater than 1")
+	ErrWorkspace = errors.New("core: workspace too small for graph")
+)
+
+// Validate checks q against g.
+func (q Query) Validate(g *graph.Graph) error {
+	if q.K <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadK, q.K)
+	}
+	if len(q.Sources) == 0 {
+		return ErrNoSources
+	}
+	if len(q.Targets) == 0 {
+		return ErrNoTargets
+	}
+	for _, s := range q.Sources {
+		if s < 0 || int(s) >= g.NumNodes() {
+			return fmt.Errorf("%w: source %d", graph.ErrNodeRange, s)
+		}
+	}
+	for _, t := range q.Targets {
+		if t < 0 || int(t) >= g.NumNodes() {
+			return fmt.Errorf("%w: target %d", graph.ErrNodeRange, t)
+		}
+	}
+	return nil
+}
+
+// Prepare validates the query and options, materializes defaults, and
+// returns the workspace to use. It is shared by the algorithms here and by
+// the deviation baselines in internal/deviation.
+func Prepare(g *graph.Graph, q Query, opt *Options, needAlpha bool) (*Workspace, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = DefaultAlpha
+	}
+	if needAlpha && opt.Alpha <= 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadAlpha, opt.Alpha)
+	}
+	n := g.NumNodes() + 2
+	if opt.Workspace == nil {
+		opt.Workspace = NewWorkspace(n)
+	} else if !opt.Workspace.Fits(n) {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrWorkspace, opt.Workspace.n, n)
+	}
+	return opt.Workspace, nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import "kpj/internal/graph"
+
+// SearchStatus classifies the outcome of a subspace search.
+type SearchStatus int
+
+const (
+	// Found: the shortest path of the subspace was computed.
+	Found SearchStatus = iota
+	// Exceeded: every path in the subspace is longer than the bound τ
+	// (or was blocked by a non-definitive Pruner exclusion) — the
+	// subspace survives with the larger lower bound τ.
+	Exceeded
+	// Empty: the subspace provably contains no path at all.
+	Empty
+)
+
+func (s SearchStatus) String() string {
+	switch s {
+	case Found:
+		return "found"
+	case Exceeded:
+		return "exceeded"
+	default:
+		return "empty"
+	}
+}
+
+// SearchResult carries a Found subspace shortest path: the node suffix
+// strictly after the subspace vertex's node, the cumulative path length at
+// each suffix node (measured from the space root), and the total length.
+// Suffix/Lens feed PseudoTree.InsertSuffix directly.
+type SearchResult struct {
+	Suffix []graph.NodeID
+	Lens   []graph.Weight
+	Total  graph.Weight
+}
+
+// SubspaceSearch computes the shortest path of the subspace represented by
+// pseudo-tree vertex u — the paper's CompSP when tau == graph.Infinity and
+// TestLB (Alg. 5) otherwise. It runs a restricted A* from u's node:
+//
+//   - nodes on the tree prefix of u are banned (paths must stay simple);
+//   - the first hop out of u must avoid X_u (u's tree child edges);
+//   - successors with dist+h > tau are pruned, which makes the search
+//     explore only the small ≤τ neighbourhood (Lemma 5.1);
+//   - an optional Pruner excludes nodes entirely (SPT_I restriction).
+//
+// The heuristic must be admissible; it need not be consistent (nodes are
+// re-expanded when reached more cheaply). Statistics are accumulated in st
+// when non-nil.
+func (ws *Workspace) SubspaceSearch(sp *Space, pt *PseudoTree, u VertexID, h Heuristic, tau graph.Weight, pruner Pruner, st *Stats) (SearchResult, SearchStatus) {
+	ws.beginSearch()
+	ws.beginBans()
+	pt.PrefixNodes(u, ws.banNode)
+
+	start := pt.Node(u)
+	startDist := pt.PrefixLen(u)
+	pruned := false
+
+	if st != nil {
+		st.Searches++
+	}
+
+	// Expand the start vertex by hand so the X_u first-hop exclusions
+	// apply; the main loop below never re-expands it (it is banned).
+	excluded := pt.Excluded(u)
+	isExcluded := func(v graph.NodeID) bool {
+		for _, x := range excluded {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	relax := func(from, to graph.NodeID, nd graph.Weight) {
+		if ws.isBanned(to) {
+			return
+		}
+		if nd >= ws.distOf(to) {
+			return
+		}
+		if pruner != nil {
+			if ok, definitive := pruner.Allow(to); !ok {
+				if !definitive {
+					pruned = true
+				}
+				return
+			}
+		}
+		hv := ws.hOf(h, to)
+		if hv >= graph.Infinity {
+			return // goal provably unreachable from `to`
+		}
+		if nd+hv > tau {
+			pruned = true
+			return
+		}
+		ws.setDist(to, nd, from)
+		ws.q.PushOrDecrease(int32(to), nd+hv)
+		if st != nil {
+			st.EdgesRelaxed++
+		}
+	}
+
+	if hs := ws.hOf(h, start); hs >= graph.Infinity {
+		return SearchResult{}, Empty // goal provably unreachable from u
+	} else if startDist+hs > tau {
+		// The subspace's own prefix already exceeds the bound.
+		return SearchResult{}, Exceeded
+	}
+	sp.Expand(start, func(to graph.NodeID, w graph.Weight) {
+		if !isExcluded(to) {
+			relax(start, to, startDist+w)
+		}
+	})
+
+	for ws.q.Len() > 0 {
+		vi, _ := ws.q.Pop()
+		v := graph.NodeID(vi)
+		if st != nil {
+			st.NodesPopped++
+		}
+		if v == sp.Goal {
+			return ws.reconstruct(pt, u, v), Found
+		}
+		dv := ws.dist[v]
+		sp.Expand(v, func(to graph.NodeID, w graph.Weight) {
+			relax(v, to, dv+w)
+		})
+	}
+	if pruned {
+		return SearchResult{}, Exceeded
+	}
+	return SearchResult{}, Empty
+}
+
+// reconstruct walks the parent pointers from the goal back to the start
+// vertex's node and packages the suffix in forward order.
+func (ws *Workspace) reconstruct(pt *PseudoTree, u VertexID, goal graph.NodeID) SearchResult {
+	start := pt.Node(u)
+	var rev []graph.NodeID
+	for v := goal; v != start; v = ws.parent[v] {
+		rev = append(rev, v)
+	}
+	res := SearchResult{
+		Suffix: make([]graph.NodeID, len(rev)),
+		Lens:   make([]graph.Weight, len(rev)),
+		Total:  ws.dist[goal],
+	}
+	for i := range rev {
+		v := rev[len(rev)-1-i]
+		res.Suffix[i] = v
+		res.Lens[i] = ws.dist[v]
+	}
+	return res
+}
+
+// CompLB computes the light-weight one-hop lower bound of the subspace at
+// vertex u (paper Alg. 3, and Alg. 8 when rootPruner is supplied): the
+// minimum over u's valid outgoing space edges (u,v) of
+// prefixLen(u) + ω(u,v) + h(v). It returns graph.Infinity when the
+// subspace is provably empty. A non-definitive rootPruner exclusion (the
+// SPT_I "D ≠ V_T" case) degrades the result to 0 instead, because the
+// excluded edges might hide shorter paths (Alg. 8 line 8).
+func (ws *Workspace) CompLB(sp *Space, pt *PseudoTree, u VertexID, h Heuristic, rootPruner Pruner, st *Stats) graph.Weight {
+	ws.beginBans()
+	bumpEpoch(&ws.hepoch, ws.hstamp)
+	pt.PrefixNodes(u, ws.banNode)
+	if st != nil {
+		st.LowerBounds++
+	}
+
+	excluded := pt.Excluded(u)
+	lb := graph.Infinity
+	sawBlocked := false
+	prefix := pt.PrefixLen(u)
+	node := pt.Node(u)
+	sp.Expand(node, func(to graph.NodeID, w graph.Weight) {
+		if ws.isBanned(to) {
+			return
+		}
+		for _, x := range excluded {
+			if x == to {
+				return
+			}
+		}
+		if rootPruner != nil {
+			if ok, definitive := rootPruner.Allow(to); !ok {
+				if !definitive {
+					sawBlocked = true
+				}
+				return
+			}
+		}
+		hv := ws.hOf(h, to)
+		if hv >= graph.Infinity {
+			return
+		}
+		if est := prefix + w + hv; est < lb {
+			lb = est
+		}
+	})
+	if lb >= graph.Infinity && sawBlocked {
+		return 0
+	}
+	return lb
+}
+
+// Stats counts the work a query performed; the experiments report them
+// alongside wall-clock time (the paper's "number of shortest path
+// computations" discussion around Lemma 4.1).
+type Stats struct {
+	Searches     int64 // subspace shortest-path / TestLB invocations
+	LowerBounds  int64 // CompLB invocations
+	NodesPopped  int64 // priority-queue pops across all searches
+	EdgesRelaxed int64 // successful relaxations across all searches
+	TauRounds    int64 // TestLB rounds that returned Exceeded
+	SPTNodes     int64 // nodes settled into SPT_P / SPT_I
+}
+
+// Add accumulates other into st.
+func (st *Stats) Add(other Stats) {
+	st.Searches += other.Searches
+	st.LowerBounds += other.LowerBounds
+	st.NodesPopped += other.NodesPopped
+	st.EdgesRelaxed += other.EdgesRelaxed
+	st.TauRounds += other.TauRounds
+	st.SPTNodes += other.SPTNodes
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// sptiTree is the incremental shortest path tree of Section 5.3: a paused
+// A* over the FORWARD space from the source side toward the destination
+// category, keyed by ds(v) + lb(v, V_T). Phase one (newSPTI + initialPath)
+// settles nodes until the virtual target is reached — the by-product is
+// the first shortest path. growTo(τ) then resumes the search until every
+// node with ds(v) + lb(v, V_T) ≤ τ is settled, which by Prop. 5.2 covers
+// every node on any source→V_T path of length ≤ τ. The reverse-space
+// TestLB prunes everything not settled here.
+type sptiTree struct {
+	fwd     *Space
+	h       Heuristic // growth key heuristic: Eq. 2 bound toward V_T (or zero)
+	ds      []graph.Weight
+	parent  []graph.NodeID
+	settled []bool
+	q       *pqueue.NodeQueue
+	st      *Stats
+}
+
+func newSPTI(fwd *Space, h Heuristic, st *Stats) *sptiTree {
+	n := fwd.NumSpaceNodes()
+	t := &sptiTree{
+		fwd:     fwd,
+		h:       h,
+		ds:      make([]graph.Weight, n),
+		parent:  make([]graph.NodeID, n),
+		settled: make([]bool, n),
+		q:       pqueue.NewNodeQueue(n),
+		st:      st,
+	}
+	for i := range t.ds {
+		t.ds[i] = graph.Infinity
+		t.parent[i] = -1
+	}
+	t.ds[fwd.Root] = 0
+	t.q.PushOrDecrease(int32(fwd.Root), hOrZero(h, fwd.Root))
+	return t
+}
+
+// settleOne pops and settles the next node, returning it (or -1 when the
+// frontier is exhausted).
+func (t *sptiTree) settleOne() graph.NodeID {
+	for t.q.Len() > 0 {
+		vi, _ := t.q.Pop()
+		v := graph.NodeID(vi)
+		if t.settled[v] {
+			continue
+		}
+		t.settled[v] = true
+		if t.st != nil {
+			t.st.SPTNodes++
+			t.st.NodesPopped++
+		}
+		t.fwd.Expand(v, func(to graph.NodeID, w graph.Weight) {
+			if nd := t.ds[v] + w; nd < t.ds[to] {
+				h := hOrZero(t.h, to)
+				if h >= graph.Infinity {
+					return
+				}
+				t.ds[to] = nd
+				t.parent[to] = v
+				t.q.PushOrDecrease(int32(to), nd+h)
+			}
+		})
+		return v
+	}
+	return -1
+}
+
+// initialPath runs phase one: grow until the forward goal (the virtual
+// target) settles, and return the first shortest path translated into the
+// REVERSE space (suffix after the reverse root, cumulative lengths).
+func (t *sptiTree) initialPath() (SearchResult, bool) {
+	for !t.settled[t.fwd.Goal] {
+		if t.settleOne() < 0 {
+			return SearchResult{}, false
+		}
+	}
+	// Forward chain goal→root via parents, which read left to right is
+	// exactly the reverse-space order: virtual target → … → source side.
+	var chain []graph.NodeID
+	for v := t.fwd.Goal; v >= 0; v = t.parent[v] {
+		chain = append(chain, v)
+	}
+	total := t.ds[t.fwd.Goal]
+	res := SearchResult{
+		Suffix: chain[1:], // reverse-space root is the virtual target
+		Lens:   make([]graph.Weight, len(chain)-1),
+		Total:  total,
+	}
+	for i, v := range res.Suffix {
+		res.Lens[i] = total - t.ds[v]
+	}
+	return res, true
+}
+
+// growTo resumes the search until every node with key ≤ tau is settled
+// (keys are monotone because the growth heuristic is consistent).
+func (t *sptiTree) growTo(tau graph.Weight) {
+	for t.q.Len() > 0 && t.q.TopKey() <= tau {
+		t.settleOne()
+	}
+}
+
+// exhausted reports whether the tree can grow no further — at that point
+// "not in SPT_I" means "unreachable from the source side".
+func (t *sptiTree) exhausted() bool { return t.q.Len() == 0 }
+
+// sptiPruner restricts reverse-space searches to SPT_I nodes. Exclusions
+// are definitive only once the tree is exhausted.
+type sptiPruner struct{ t *sptiTree }
+
+// Allow implements Pruner.
+func (p sptiPruner) Allow(v graph.NodeID) (bool, bool) {
+	if p.t.settled[v] {
+		return true, true
+	}
+	return false, p.t.exhausted()
+}
+
+// sptiHeuristic estimates the remaining distance in the REVERSE space
+// (i.e. the distance from the source side to v): exact ds for settled
+// nodes, landmark fallback otherwise (Alg. 8 line 5).
+type sptiHeuristic struct {
+	t        *sptiTree
+	fallback Heuristic
+}
+
+// H implements Heuristic.
+func (h sptiHeuristic) H(v graph.NodeID) graph.Weight {
+	if h.t.settled[v] {
+		return h.t.ds[v]
+	}
+	return hOrZero(h.fallback, v)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// buildPartialSPT implements the paper's PartialSPT (Alg. 6): an A* search
+// over the reverse space from the virtual target toward the source side,
+// stopped as soon as the source side is settled. The settled nodes form
+// SPT_P with exact remaining-distances dt(v) = δ(v, V_T) (Prop. 5.1), and
+// the search's own result is the first shortest path — SPT_P costs nothing
+// beyond computing P₁.
+//
+// rev is the reverse space; revH its heuristic (remaining toward the
+// source side). It returns the SPT arrays and the initial path translated
+// into the FORWARD space (suffix after the forward root, cumulative
+// lengths, total), or ok=false when no path exists.
+func buildPartialSPT(rev *Space, revH Heuristic, st *Stats) (dt []graph.Weight, settled []bool, init SearchResult, ok bool) {
+	n := rev.NumSpaceNodes()
+	dt = make([]graph.Weight, n)
+	settled = make([]bool, n)
+	parent := make([]graph.NodeID, n)
+	for i := range dt {
+		dt[i] = graph.Infinity
+		parent[i] = -1
+	}
+	q := pqueue.NewNodeQueue(n)
+	root := rev.Root
+	dt[root] = 0
+	q.PushOrDecrease(int32(root), hOrZero(revH, root))
+	for q.Len() > 0 {
+		vi, _ := q.Pop()
+		v := graph.NodeID(vi)
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		if st != nil {
+			st.SPTNodes++
+			st.NodesPopped++
+		}
+		if v == rev.Goal {
+			break
+		}
+		rev.Expand(v, func(to graph.NodeID, w graph.Weight) {
+			if nd := dt[v] + w; nd < dt[to] {
+				h := hOrZero(revH, to)
+				if h >= graph.Infinity {
+					return
+				}
+				dt[to] = nd
+				parent[to] = v
+				q.PushOrDecrease(int32(to), nd+h)
+			}
+		})
+	}
+	if !settled[rev.Goal] {
+		return dt, settled, SearchResult{}, false
+	}
+
+	// Translate the found reverse path into the forward space: walking the
+	// reverse parents from the goal yields exactly the forward node order
+	// source-side → … → virtual target.
+	var chain []graph.NodeID
+	for v := rev.Goal; v >= 0; v = parent[v] {
+		chain = append(chain, v)
+	}
+	total := dt[rev.Goal]
+	init = SearchResult{
+		Suffix: chain[1:],
+		Lens:   make([]graph.Weight, len(chain)-1),
+		Total:  total,
+	}
+	for i, v := range init.Suffix {
+		init.Lens[i] = total - dt[v]
+	}
+	return dt, settled, init, true
+}
+
+func hOrZero(h Heuristic, v graph.NodeID) graph.Weight {
+	if h == nil {
+		return 0
+	}
+	return h.H(v)
+}

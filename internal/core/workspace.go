@@ -1,0 +1,125 @@
+package core
+
+import (
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// Heuristic supplies admissible lower bounds on the remaining distance from
+// a space node to the space goal. Implementations must guarantee:
+//
+//   - H(v) ≤ the true shortest remaining distance (admissibility), and
+//   - H(v) == graph.Infinity only when the goal is provably unreachable
+//     from v.
+//
+// Heuristics need not be consistent: the restricted search re-expands nodes
+// when a shorter arrival is found, so admissibility alone is sufficient for
+// correctness (SPT_P mixes exact and landmark estimates, which is
+// admissible but not consistent).
+type Heuristic interface {
+	H(v graph.NodeID) graph.Weight
+}
+
+// Pruner optionally excludes space nodes from a search. Allow reports
+// whether v may be explored; when it is excluded, definitive reports
+// whether the exclusion is permanent (v provably cannot lie on any result
+// path) rather than dependent on the current bound τ or on future index
+// growth. Non-definitive exclusions make a search report Exceeded instead
+// of Empty. IterBound-SPT_I uses a Pruner to restrict searches to the
+// incremental SPT (Section 5.3).
+type Pruner interface {
+	Allow(v graph.NodeID) (ok, definitive bool)
+}
+
+// Workspace holds the reusable per-query scratch state for subspace
+// searches: tentative distances, parents, heuristic caches, ban marks, and
+// the search queue — all epoch-stamped so that the O(k·n) searches of a
+// single query never pay an O(n) clear. A Workspace is sized for one
+// space-node-id range and is not safe for concurrent use.
+type Workspace struct {
+	n int
+
+	dist   []graph.Weight
+	parent []graph.NodeID
+	dstamp []uint32
+	depoch uint32
+
+	hval   []graph.Weight
+	hstamp []uint32
+	hepoch uint32
+
+	ban      []uint32
+	banEpoch uint32
+
+	q *pqueue.NodeQueue
+}
+
+// NewWorkspace returns a Workspace for space-node ids in [0, n).
+// Use Space.NumSpaceNodes for n.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		n:        n,
+		dist:     make([]graph.Weight, n),
+		parent:   make([]graph.NodeID, n),
+		dstamp:   make([]uint32, n),
+		depoch:   1,
+		hval:     make([]graph.Weight, n),
+		hstamp:   make([]uint32, n),
+		hepoch:   1,
+		ban:      make([]uint32, n),
+		banEpoch: 1,
+		q:        pqueue.NewNodeQueue(n),
+	}
+}
+
+// Fits reports whether the workspace covers space-node ids in [0, n).
+func (ws *Workspace) Fits(n int) bool { return ws.n >= n }
+
+func bumpEpoch(epoch *uint32, stamps []uint32) {
+	*epoch++
+	if *epoch == 0 {
+		for i := range stamps {
+			stamps[i] = 0
+		}
+		*epoch = 1
+	}
+}
+
+// beginSearch starts a fresh distance/heuristic scope.
+func (ws *Workspace) beginSearch() {
+	bumpEpoch(&ws.depoch, ws.dstamp)
+	bumpEpoch(&ws.hepoch, ws.hstamp)
+	ws.q.Reset()
+}
+
+// beginBans starts a fresh ban scope.
+func (ws *Workspace) beginBans() {
+	bumpEpoch(&ws.banEpoch, ws.ban)
+}
+
+func (ws *Workspace) banNode(v graph.NodeID)       { ws.ban[v] = ws.banEpoch }
+func (ws *Workspace) isBanned(v graph.NodeID) bool { return ws.ban[v] == ws.banEpoch }
+
+func (ws *Workspace) distOf(v graph.NodeID) graph.Weight {
+	if ws.dstamp[v] != ws.depoch {
+		return graph.Infinity
+	}
+	return ws.dist[v]
+}
+
+func (ws *Workspace) setDist(v graph.NodeID, d graph.Weight, p graph.NodeID) {
+	ws.dist[v] = d
+	ws.parent[v] = p
+	ws.dstamp[v] = ws.depoch
+}
+
+// hOf memoizes h(v) for the duration of the current search scope.
+func (ws *Workspace) hOf(h Heuristic, v graph.NodeID) graph.Weight {
+	if ws.hstamp[v] == ws.hepoch {
+		return ws.hval[v]
+	}
+	val := h.H(v)
+	ws.hval[v] = val
+	ws.hstamp[v] = ws.hepoch
+	return val
+}

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kpj/internal/bruteforce"
+	"kpj/internal/core"
+	"kpj/internal/graph"
+	"kpj/internal/landmark"
+)
+
+// zeroWeightGraph builds a random graph that allows zero-weight edges —
+// the classic stress case for threshold-based bounding (τ must still make
+// progress) and for tie handling.
+func zeroWeightGraph(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n*3; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, rng.Int63n(4)) // 0..3, zero allowed
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestAlgorithmsMatchOracleZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(8)
+		g := zeroWeightGraph(rng, n)
+		targetCount := 1 + rng.Intn(2)
+		targets := make([]graph.NodeID, 0, targetCount)
+		seen := map[graph.NodeID]bool{}
+		for len(targets) < targetCount {
+			v := graph.NodeID(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		src := graph.NodeID(rng.Intn(n))
+		k := 1 + rng.Intn(8)
+		q := core.Query{Sources: []graph.NodeID{src}, Targets: targets, K: k}
+		want := bruteforce.Lengths(bruteforce.TopK(g, q.Sources, targets, k))
+
+		var ix *landmark.Index
+		if trial%2 == 0 {
+			var err error
+			ix, err = landmark.Build(g, 2, int64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, fn := range core.Algorithms() {
+			paths, err := fn(g, q, core.Options{Index: ix, Alpha: 1.1})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			got := make([]graph.Weight, len(paths))
+			for i, p := range paths {
+				got[i] = p.Length
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %s (n=%d src=%d T=%v k=%d):\n got %v\nwant %v",
+					trial, name, n, src, targets, k, got, want)
+			}
+		}
+	}
+}
+
+// All-zero weights: every path ties at length 0 among those that exist;
+// the algorithms must still terminate and enumerate without duplicates.
+func TestAllZeroWeights(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddBiEdge(0, 1, 0).AddBiEdge(1, 2, 0).AddBiEdge(2, 3, 0).AddBiEdge(0, 3, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Sources: []graph.NodeID{0}, Targets: []graph.NodeID{3}, K: 10}
+	want := bruteforce.Lengths(bruteforce.TopK(g, q.Sources, q.Targets, q.K))
+	for name, fn := range core.Algorithms() {
+		paths, err := fn(g, q, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(paths) != len(want) {
+			t.Fatalf("%s: %d paths, want %d", name, len(paths), len(want))
+		}
+		for _, p := range paths {
+			if p.Length != 0 {
+				t.Fatalf("%s: non-zero length %d", name, p.Length)
+			}
+		}
+		// No duplicate node sequences.
+		seen := map[string]bool{}
+		for _, p := range paths {
+			key := ""
+			for _, v := range p.Nodes {
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("%s: duplicate path %v", name, p.Nodes)
+			}
+			seen[key] = true
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package deviation implements the paper's baseline algorithms for KPJ
+// processing (Section 3): DA, the classical Yen-style deviation algorithm
+// applied to the query-transformed graph G_Q, and DA-SPT, the
+// state-of-the-art variant of Gao et al. that builds a full shortest path
+// tree toward the (virtual) target online and uses the Pascoal shortcut to
+// obtain most candidate paths in constant time.
+//
+// Both algorithms eagerly compute a candidate (the subspace's shortest
+// path) for every subspace the moment it is created — the O(k·n) shortest
+// path computations whose cost the best-first paradigm of internal/core is
+// designed to avoid.
+package deviation
+
+import (
+	"kpj/internal/core"
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// candidate is one entry of the candidate set C (paper Alg. 1): the
+// resolved shortest path of the subspace at a pseudo-tree vertex.
+type candidate struct {
+	vertex core.VertexID
+	res    core.SearchResult
+	seq    uint64
+}
+
+func lessCandidate(a, b candidate) bool {
+	if a.res.Total != b.res.Total {
+		return a.res.Total < b.res.Total
+	}
+	return a.seq < b.seq
+}
+
+// run is the deviation main loop shared by DA and DA-SPT: resolve is
+// invoked once per subspace, immediately at creation, and must return the
+// subspace's shortest path (or ok=false when the subspace is empty).
+// trace, when non-nil, observes each step.
+func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID) (core.SearchResult, bool), trace core.TraceFunc) []core.Path {
+	cand := pqueue.NewHeap[candidate](lessCandidate)
+	var seq uint64
+	push := func(v core.VertexID) {
+		res, ok := resolve(v)
+		if trace != nil {
+			status := core.Found
+			if !ok {
+				status = core.Empty
+			}
+			trace(core.Event{Kind: core.EventResolve, Vertex: v, Node: pt.Node(v),
+				Length: res.Total, Tau: graph.Infinity, Status: status})
+		}
+		if ok {
+			seq++
+			cand.Push(candidate{vertex: v, res: res, seq: seq})
+		}
+	}
+	push(0)
+	var out []core.Path
+	for len(out) < k && cand.Len() > 0 {
+		top := cand.Pop()
+		full := append(pt.PrefixPath(top.vertex), top.res.Suffix...)
+		out = append(out, sp.Materialize(full, top.res.Total))
+		if trace != nil {
+			trace(core.Event{Kind: core.EventEmit, Vertex: top.vertex, Node: pt.Node(top.vertex), Length: top.res.Total})
+		}
+		if len(out) == k {
+			break
+		}
+		created := pt.InsertSuffix(top.vertex, top.res.Suffix, top.res.Lens)
+		push(top.vertex)
+		for _, v := range created {
+			if pt.Node(v) != sp.Goal {
+				push(v)
+			}
+		}
+	}
+	return out
+}
+
+// DA processes a query with the plain deviation algorithm (paper Alg. 1,
+// [28]): every candidate path is computed by a restricted Dijkstra over
+// G_Q. Options.Index and Options.Alpha are ignored — the baseline uses no
+// lower-bound machinery.
+func DA(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) {
+	ws, err := core.Prepare(g, q, &opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
+	pt := core.NewPseudoTree(sp.Root)
+	resolve := func(v core.VertexID) (core.SearchResult, bool) {
+		res, status := ws.SubspaceSearch(sp, pt, v, core.ZeroHeuristic{}, graph.Infinity, nil, opt.Stats)
+		return res, status == core.Found
+	}
+	return run(sp, pt, q.K, resolve, opt.Trace), nil
+}
+
+// DASPT processes a query with the DA-SPT baseline ([15], Section 3):
+// a full shortest path tree toward the virtual target is built first
+// (the dominating cost for short result paths, as the paper's Figs. 7(e)
+// and 7(f) show), after which candidates are resolved by the Pascoal
+// simple-concatenation test and, only when that fails, by an A* whose
+// heuristic is the tree's exact remaining distance.
+func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) {
+	ws, err := core.Prepare(g, q, &opt, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
+	rev := core.NewReverseSpace(g, q.Sources, q.Targets)
+	spt := buildFullSPT(rev, opt.Stats)
+	pt := core.NewPseudoTree(sp.Root)
+	h := core.TreeHeuristic{Dist: spt.dt, Settled: spt.settled, Fallback: core.ZeroHeuristic{}}
+	resolve := func(v core.VertexID) (core.SearchResult, bool) {
+		if res, ok := spt.pascoal(sp, pt, v); ok {
+			if opt.Stats != nil {
+				opt.Stats.LowerBounds++ // constant-time candidate
+			}
+			return res, true
+		}
+		res, status := ws.SubspaceSearch(sp, pt, v, h, graph.Infinity, nil, opt.Stats)
+		return res, status == core.Found
+	}
+	return run(sp, pt, q.K, resolve, opt.Trace), nil
+}
+
+// Algorithms returns the two baselines under their paper names.
+func Algorithms() map[string]core.Func {
+	return map[string]core.Func{
+		"DA":     DA,
+		"DA-SPT": DASPT,
+	}
+}

@@ -1,0 +1,164 @@
+package deviation_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kpj/internal/bruteforce"
+	"kpj/internal/core"
+	"kpj/internal/deviation"
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+func lengthsOf(paths []core.Path) []graph.Weight {
+	out := make([]graph.Weight, len(paths))
+	for i, p := range paths {
+		out[i] = p.Length
+	}
+	return out
+}
+
+func TestFig1Baselines(t *testing.T) {
+	g := testgraphs.Fig1()
+	hotels, _ := g.Category(testgraphs.HotelCategory)
+	q := core.Query{Sources: []graph.NodeID{testgraphs.V1}, Targets: hotels, K: 5}
+	for name, fn := range deviation.Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			paths, err := fn(g, q, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := lengthsOf(paths); !reflect.DeepEqual(got, testgraphs.Fig1TopLengths) {
+				t.Fatalf("lengths = %v, want %v", got, testgraphs.Fig1TopLengths)
+			}
+		})
+	}
+}
+
+// Example 3.1 of the paper: the first three paths of Q = {v1, "H", 3} are
+// (v1,v8,v7), (v1,v3,v6), and a length-7 path.
+func TestFig1PaperExample31(t *testing.T) {
+	g := testgraphs.Fig1()
+	hotels, _ := g.Category(testgraphs.HotelCategory)
+	q := core.Query{Sources: []graph.NodeID{testgraphs.V1}, Targets: hotels, K: 3}
+	paths, err := deviation.DA(g, q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if !reflect.DeepEqual(paths[0].Nodes, []graph.NodeID{testgraphs.V1, testgraphs.V8, testgraphs.V7}) {
+		t.Fatalf("P1 = %v", paths[0].Nodes)
+	}
+	if !reflect.DeepEqual(paths[1].Nodes, []graph.NodeID{testgraphs.V1, testgraphs.V3, testgraphs.V6}) {
+		t.Fatalf("P2 = %v", paths[1].Nodes)
+	}
+	if paths[2].Length != 7 {
+		t.Fatalf("P3 length = %d, want 7", paths[2].Length)
+	}
+}
+
+func TestBaselinesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(9)
+		g := testgraphs.Random(rng, n, 3, 9, trial%2 == 0)
+		targets := testgraphs.RandomCategory(rng, g, "T", 1+rng.Intn(3))
+		var sources []graph.NodeID
+		if trial%4 == 0 {
+			sources = testgraphs.RandomCategory(rng, g, "S", 1+rng.Intn(3))
+		} else {
+			sources = []graph.NodeID{graph.NodeID(rng.Intn(n))}
+		}
+		k := 1 + rng.Intn(10)
+		q := core.Query{Sources: sources, Targets: targets, K: k}
+		want := bruteforce.Lengths(bruteforce.TopK(g, sources, targets, k))
+		for name, fn := range deviation.Algorithms() {
+			paths, err := fn(g, q, core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if got := lengthsOf(paths); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %s (n=%d k=%d S=%v T=%v):\n got %v\nwant %v",
+					trial, name, n, k, sources, targets, got, want)
+			}
+		}
+	}
+}
+
+// The baselines and the contributed algorithms must agree on graphs beyond
+// the oracle's reach.
+func TestBaselinesAgreeWithCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1000))
+	g := testgraphs.RandomConnected(rng, 300, 900, 40)
+	targets := testgraphs.RandomCategory(rng, g, "T", 5)
+	for _, k := range []int{1, 10, 30} {
+		q := core.Query{Sources: []graph.NodeID{2}, Targets: targets, K: k}
+		ref, err := core.BestFirst(g, q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lengthsOf(ref)
+		for name, fn := range deviation.Algorithms() {
+			paths, err := fn(g, q, core.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := lengthsOf(paths); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s k=%d:\n got %v\nwant %v", name, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBaselinesUnreachableAndSparse(t *testing.T) {
+	g, err := graph.NewBuilder(4).AddEdge(0, 1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Sources: []graph.NodeID{0}, Targets: []graph.NodeID{3}, K: 2}
+	for name, fn := range deviation.Algorithms() {
+		paths, err := fn(g, q, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(paths) != 0 {
+			t.Fatalf("%s: got %v, want none", name, paths)
+		}
+	}
+}
+
+// DA-SPT's Pascoal shortcut must not change results relative to DA across
+// many k values on one graph (exercises both the shortcut and fallback
+// branches).
+func TestDASPTPascoalBranches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	g := testgraphs.RandomConnected(rng, 60, 240, 12)
+	targets := testgraphs.RandomCategory(rng, g, "T", 2)
+	for k := 1; k <= 40; k += 3 {
+		q := core.Query{Sources: []graph.NodeID{0}, Targets: targets, K: k}
+		a, err := deviation.DA(g, q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := deviation.DASPT(g, q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lengthsOf(a), lengthsOf(b)) {
+			t.Fatalf("k=%d: DA %v vs DA-SPT %v", k, lengthsOf(a), lengthsOf(b))
+		}
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	g := testgraphs.Fig1()
+	for name, fn := range deviation.Algorithms() {
+		if _, err := fn(g, core.Query{K: 1}, core.Options{}); err == nil {
+			t.Fatalf("%s accepted an invalid query", name)
+		}
+	}
+}

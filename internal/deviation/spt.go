@@ -1,0 +1,106 @@
+package deviation
+
+import (
+	"kpj/internal/core"
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// fullSPT is the complete shortest path tree toward the virtual target
+// built by DA-SPT at query start: for every space node v, dt[v] is
+// δ(v, virtual target) and next[v] the successor on that shortest path.
+type fullSPT struct {
+	rev     *core.Space
+	dt      []graph.Weight
+	next    []graph.NodeID // successor toward the target; -1 at the root
+	settled []bool
+}
+
+// buildFullSPT runs a complete Dijkstra over the reverse space from the
+// virtual target. Unlike the partial/incremental trees of Section 5, it
+// does not stop early — this is exactly the "dominating cost of
+// constructing the full SPT" the paper attributes to DA-SPT.
+func buildFullSPT(rev *core.Space, st *core.Stats) *fullSPT {
+	n := rev.NumSpaceNodes()
+	t := &fullSPT{
+		rev:     rev,
+		dt:      make([]graph.Weight, n),
+		next:    make([]graph.NodeID, n),
+		settled: make([]bool, n),
+	}
+	for i := range t.dt {
+		t.dt[i] = graph.Infinity
+		t.next[i] = -1
+	}
+	q := pqueue.NewNodeQueue(n)
+	t.dt[rev.Root] = 0
+	q.PushOrDecrease(int32(rev.Root), 0)
+	for q.Len() > 0 {
+		vi, d := q.Pop()
+		v := graph.NodeID(vi)
+		if t.settled[v] {
+			continue
+		}
+		t.settled[v] = true
+		if st != nil {
+			st.SPTNodes++
+			st.NodesPopped++
+		}
+		rev.Expand(v, func(to graph.NodeID, w graph.Weight) {
+			if nd := d + w; nd < t.dt[to] {
+				t.dt[to] = nd
+				t.next[to] = v
+				q.PushOrDecrease(int32(to), nd)
+			}
+		})
+	}
+	return t
+}
+
+// pascoal attempts the constant-time candidate of Pascoal [24]: among the
+// valid first hops (u, v) of the subspace at vertex u, take the one
+// minimizing prefix + ω(u,v) + δ(v, target); if concatenating the prefix,
+// that edge, and v's tree path to the target yields a simple path, it is
+// the subspace's shortest path. Otherwise ok=false and the caller must run
+// a full search.
+func (t *fullSPT) pascoal(sp *core.Space, pt *core.PseudoTree, u core.VertexID) (core.SearchResult, bool) {
+	onPrefix := map[graph.NodeID]bool{}
+	pt.PrefixNodes(u, func(v graph.NodeID) { onPrefix[v] = true })
+	excluded := pt.Excluded(u)
+
+	best := graph.NodeID(-1)
+	bestW := graph.Infinity
+	var bestEdge graph.Weight
+	prefixLen := pt.PrefixLen(u)
+	sp.Expand(pt.Node(u), func(to graph.NodeID, w graph.Weight) {
+		if onPrefix[to] || t.dt[to] >= graph.Infinity {
+			return
+		}
+		for _, x := range excluded {
+			if x == to {
+				return
+			}
+		}
+		if est := prefixLen + w + t.dt[to]; est < bestW {
+			best, bestW, bestEdge = to, est, w
+		}
+	})
+	if best < 0 {
+		return core.SearchResult{}, false // provably empty: no valid first hop reaches the target
+	}
+
+	// Walk best's tree path to the target, checking simplicity against the
+	// prefix (the tree path itself is simple by construction).
+	res := core.SearchResult{Total: bestW}
+	length := prefixLen + bestEdge
+	seen := map[graph.NodeID]bool{}
+	for v := best; v >= 0; v = t.next[v] {
+		if onPrefix[v] || seen[v] {
+			return core.SearchResult{}, false // concatenation not simple: fall back
+		}
+		seen[v] = true
+		res.Suffix = append(res.Suffix, v)
+		res.Lens = append(res.Lens, length+(t.dt[best]-t.dt[v]))
+	}
+	return res, true
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kpj/internal/graph"
+)
+
+// AddClusteredCategory registers a category whose members cluster around a
+// few random centers of a Width×Height grid road network — the spatial
+// pattern of real POIs (harbors follow coastlines, hotels pack downtown),
+// in contrast to the uniform placement of AddNestedCategories. Clustered
+// destinations make Fig. 10/11-style effects stronger: the shortest
+// distance to the category varies much more across sources.
+//
+// width must be the RoadConfig.Width the graph was generated with; size
+// POIs are spread over `clusters` centers with a Gaussian-like scatter of
+// the given radius (in grid cells).
+func AddClusteredCategory(g *graph.Graph, name string, size, clusters, width, radius int, seed int64) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	if width <= 0 || n%width != 0 {
+		return nil, fmt.Errorf("gen: width %d does not divide %d nodes into a grid", width, n)
+	}
+	height := n / width
+	if size <= 0 || size > n {
+		return nil, fmt.Errorf("gen: clustered category size %d out of range (n=%d)", size, n)
+	}
+	if clusters <= 0 {
+		clusters = 1
+	}
+	if radius <= 0 {
+		radius = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y int }
+	centers := make([]pt, clusters)
+	for i := range centers {
+		centers[i] = pt{rng.Intn(width), rng.Intn(height)}
+	}
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	seen := make(map[graph.NodeID]struct{}, size)
+	nodes := make([]graph.NodeID, 0, size)
+	for attempts := 0; len(nodes) < size; attempts++ {
+		if attempts > 50*size+1000 {
+			// Radius too tight for the requested size: spill uniformly.
+			v := graph.NodeID(rng.Intn(n))
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			nodes = append(nodes, v)
+			continue
+		}
+		c := centers[rng.Intn(clusters)]
+		// Sum of two uniforms ≈ triangular scatter around the center.
+		dx := (rng.Intn(2*radius+1) + rng.Intn(2*radius+1)) / 2 * pick(rng)
+		dy := (rng.Intn(2*radius+1) + rng.Intn(2*radius+1)) / 2 * pick(rng)
+		x := clamp(c.x+dx, width)
+		y := clamp(c.y+dy, height)
+		v := graph.NodeID(y*width + x)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		nodes = append(nodes, v)
+	}
+	if err := g.AddCategory(name, nodes); err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}
+
+func pick(rng *rand.Rand) int {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"kpj/internal/graph"
+)
+
+func TestAddClusteredCategory(t *testing.T) {
+	const w, h = 60, 60
+	g, err := Road(RoadConfig{Width: w, Height: h, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := AddClusteredCategory(g, "ports", 30, 3, w, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 30 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	got, err := g.Category("ports")
+	if err != nil || len(got) != 30 {
+		t.Fatalf("category = %v (%v)", got, err)
+	}
+	// Clustered placement must have a markedly smaller mean pairwise grid
+	// distance than uniform placement of the same size.
+	uniform, err := AddClusteredCategory(g, "uniform-ish", 30, 30, w, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, u := meanPairDist(nodes, w), meanPairDist(uniform, w); c > u*0.7 {
+		t.Fatalf("clustered mean pair distance %.1f not clearly below uniform %.1f", c, u)
+	}
+}
+
+func meanPairDist(nodes []graph.NodeID, width int) float64 {
+	var sum float64
+	var count int
+	for i := range nodes {
+		xi, yi := int(nodes[i])%width, int(nodes[i])/width
+		for j := i + 1; j < len(nodes); j++ {
+			xj, yj := int(nodes[j])%width, int(nodes[j])/width
+			sum += math.Abs(float64(xi-xj)) + math.Abs(float64(yi-yj))
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+func TestAddClusteredCategoryTightRadiusSpills(t *testing.T) {
+	const w, h = 10, 10
+	g, err := Road(RoadConfig{Width: w, Height: h, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1 around one center cannot hold 60 distinct nodes; the
+	// spill path must still deliver the full size.
+	nodes, err := AddClusteredCategory(g, "dense", 60, 1, w, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 60 {
+		t.Fatalf("got %d nodes, want 60", len(nodes))
+	}
+}
+
+func TestAddClusteredCategoryErrors(t *testing.T) {
+	g, err := Road(RoadConfig{Width: 10, Height: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddClusteredCategory(g, "x", 5, 1, 7, 2, 1); err == nil {
+		t.Fatal("want error for non-dividing width")
+	}
+	if _, err := AddClusteredCategory(g, "x", 0, 1, 10, 2, 1); err == nil {
+		t.Fatal("want error for zero size")
+	}
+	if _, err := AddClusteredCategory(g, "x", 101, 1, 10, 2, 1); err == nil {
+		t.Fatal("want error for oversize")
+	}
+	// Defaults for clusters/radius.
+	if _, err := AddClusteredCategory(g, "ok", 5, 0, 10, 0, 1); err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+}

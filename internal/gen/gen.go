@@ -1,0 +1,175 @@
+// Package gen generates the synthetic evaluation data: road networks with
+// the size profile of the paper's Table 1, point-of-interest categories
+// (both the nested T1⊂T2⊂T3⊂T4 scheme and CAL-like named categories), and
+// the distance-stratified query sets Q1..Q5 of Section 7.
+//
+// The paper evaluates on six real road networks that cannot be downloaded
+// in this offline reproduction. The substitute preserves the structural
+// properties the algorithms are sensitive to — sparsity (average directed
+// degree ≈ 3–4), near-planarity, positive weights with bounded spread, and
+// strong connectivity — by perturbing a grid: every node is a junction,
+// a random spanning tree plus a random subset of the remaining grid edges
+// keeps the network connected but irregular, and a few long "highway"
+// shortcuts add the non-local edges real road networks have.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kpj/internal/graph"
+)
+
+// RoadConfig parameterizes a synthetic road network.
+type RoadConfig struct {
+	Width, Height int     // junction grid dimensions; nodes = Width*Height
+	Seed          int64   // RNG seed; equal configs generate equal graphs
+	BaseWeight    int64   // minimum segment weight (default 100)
+	JitterPct     int     // weights uniform in [Base, Base*(100+J)/100] (default 120)
+	KeepFrac      float64 // fraction of non-spanning-tree grid edges kept (default 0.8)
+	Shortcuts     int     // long random highway edges (default nodes/2000)
+}
+
+func (c *RoadConfig) defaults() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("gen: grid %dx%d must be positive", c.Width, c.Height)
+	}
+	if c.BaseWeight <= 0 {
+		c.BaseWeight = 100
+	}
+	if c.JitterPct <= 0 {
+		c.JitterPct = 120
+	}
+	if c.KeepFrac <= 0 || c.KeepFrac > 1 {
+		c.KeepFrac = 0.8
+	}
+	if c.Shortcuts < 0 {
+		c.Shortcuts = 0
+	} else if c.Shortcuts == 0 {
+		c.Shortcuts = c.Width * c.Height / 2000
+	}
+	return nil
+}
+
+// Road generates a strongly connected synthetic road network.
+func Road(cfg RoadConfig) (*graph.Graph, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w, h := cfg.Width, cfg.Height
+	n := w * h
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*w + x) }
+
+	// Enumerate all grid edges.
+	type gridEdge struct{ a, b graph.NodeID }
+	edges := make([]gridEdge, 0, 2*n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, gridEdge{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, gridEdge{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	// Union-find: spanning-tree edges are always kept; the rest survive
+	// with probability KeepFrac.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	weight := func() int64 {
+		return cfg.BaseWeight + rng.Int63n(cfg.BaseWeight*int64(cfg.JitterPct)/100+1)
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		ra, rb := find(int32(e.a)), find(int32(e.b))
+		if ra != rb {
+			parent[ra] = rb
+			b.AddBiEdge(e.a, e.b, weight())
+		} else if rng.Float64() < cfg.KeepFrac {
+			b.AddBiEdge(e.a, e.b, weight())
+		}
+	}
+
+	// Highways: long shortcuts priced near the Manhattan distance, so they
+	// are attractive but do not collapse the metric.
+	for i := 0; i < cfg.Shortcuts; i++ {
+		x1, y1 := rng.Intn(w), rng.Intn(h)
+		x2, y2 := rng.Intn(w), rng.Intn(h)
+		if x1 == x2 && y1 == y2 {
+			continue
+		}
+		manhattan := int64(abs(x1-x2) + abs(y1-y2))
+		wgt := manhattan * cfg.BaseWeight * 8 / 10
+		if wgt <= 0 {
+			wgt = cfg.BaseWeight
+		}
+		b.AddBiEdge(id(x1, y1), id(x2, y2), wgt)
+	}
+	return b.Build()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Dataset names the synthetic stand-ins for the paper's Table 1 road
+// networks, ordered by size.
+type Dataset struct {
+	Name          string
+	PaperNodes    int // node count of the real dataset (Table 1)
+	PaperEdges    int
+	Width, Height int // grid at scale 1.0
+}
+
+// Datasets returns the six stand-ins. At scale 1.0 node counts match
+// Table 1 closely (USA included — callers typically scale it down).
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "SJ", PaperNodes: 18263, PaperEdges: 47594, Width: 135, Height: 135},
+		{Name: "CAL", PaperNodes: 106337, PaperEdges: 213964, Width: 326, Height: 326},
+		{Name: "SF", PaperNodes: 174956, PaperEdges: 443604, Width: 418, Height: 418},
+		{Name: "COL", PaperNodes: 435666, PaperEdges: 1042400, Width: 660, Height: 660},
+		{Name: "FLA", PaperNodes: 1070376, PaperEdges: 2687902, Width: 1034, Height: 1035},
+		{Name: "USA", PaperNodes: 6262104, PaperEdges: 15119284, Width: 2502, Height: 2503},
+	}
+}
+
+// ByName looks a Dataset up by name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// Build generates the dataset's road network at the given linear scale:
+// scale 1.0 reproduces the Table 1 node count, scale 0.5 a quarter of it
+// (both grid dimensions shrink by the factor).
+func (d Dataset) Build(scale float64, seed int64) (*graph.Graph, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("gen: scale %v out of (0, 1]", scale)
+	}
+	w := int(math.Max(2, math.Round(float64(d.Width)*scale)))
+	h := int(math.Max(2, math.Round(float64(d.Height)*scale)))
+	return Road(RoadConfig{Width: w, Height: h, Seed: seed})
+}

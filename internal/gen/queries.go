@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kpj/internal/graph"
+	"kpj/internal/sssp"
+)
+
+// QuerySetCount is the number of distance-stratified query sets (Section 7:
+// Q1..Q5, where Qi sources are closer to the destination category than Qj
+// sources for i < j).
+const QuerySetCount = 5
+
+// QuerySets reproduces the paper's source-node workload for a destination
+// category: all nodes that can reach the category are sorted by their
+// shortest distance to it, partitioned into QuerySetCount equal groups, and
+// perSet nodes are sampled from each group. It returns the groups in
+// increasing-distance order, plus every node's distance to the category
+// (useful for the Fig. 11 percentile study).
+func QuerySets(g *graph.Graph, category string, perSet int, seed int64) ([QuerySetCount][]graph.NodeID, []graph.Weight, error) {
+	var sets [QuerySetCount][]graph.NodeID
+	targets, err := g.Category(category)
+	if err != nil {
+		return sets, nil, err
+	}
+	dist := sssp.DistancesToSet(g, targets)
+	type nd struct {
+		v graph.NodeID
+		d graph.Weight
+	}
+	reachable := make([]nd, 0, g.NumNodes())
+	for v, d := range dist {
+		if d < graph.Infinity {
+			reachable = append(reachable, nd{graph.NodeID(v), d})
+		}
+	}
+	if len(reachable) < QuerySetCount {
+		return sets, nil, fmt.Errorf("gen: only %d nodes reach category %q", len(reachable), category)
+	}
+	sort.Slice(reachable, func(i, j int) bool {
+		if reachable[i].d != reachable[j].d {
+			return reachable[i].d < reachable[j].d
+		}
+		return reachable[i].v < reachable[j].v
+	})
+	rng := rand.New(rand.NewSource(seed))
+	groupSize := len(reachable) / QuerySetCount
+	for i := 0; i < QuerySetCount; i++ {
+		lo := i * groupSize
+		hi := lo + groupSize
+		if i == QuerySetCount-1 {
+			hi = len(reachable)
+		}
+		group := reachable[lo:hi]
+		count := perSet
+		if count > len(group) {
+			count = len(group)
+		}
+		picks := rng.Perm(len(group))[:count]
+		sort.Ints(picks)
+		for _, p := range picks {
+			sets[i] = append(sets[i], group[p].v)
+		}
+	}
+	return sets, dist, nil
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGr hardens the DIMACS parser: arbitrary input must never panic,
+// and any accepted graph must satisfy the CSR invariants and round-trip.
+func FuzzReadGr(f *testing.F) {
+	f.Add(sampleGr)
+	f.Add("p sp 0 0\n")
+	f.Add("c comment only\n")
+	f.Add("p sp 2 1\na 1 2 5\n")
+	f.Add("p sp 2 1\na 2 1 0\n")
+	f.Add("p sp 1 1\na 1 1 9\n")
+	f.Add("p sp 3 2\na 1 2 3\na 1 2 4\n") // parallel edges collapse
+	f.Add("a 1 2 3\n")
+	f.Add("p sp -1 0\n")
+	f.Add("p sp 2 1\na 1 2 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadGr(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent.
+		out, in := 0, 0
+		for v := 0; v < g.NumNodes(); v++ {
+			out += g.OutDegree(NodeID(v))
+			in += g.InDegree(NodeID(v))
+			for _, e := range g.Out(NodeID(v)) {
+				if e.To < 0 || int(e.To) >= g.NumNodes() || e.W < 0 {
+					t.Fatalf("invalid edge %v from %d", e, v)
+				}
+			}
+		}
+		if out != g.NumEdges() || in != g.NumEdges() {
+			t.Fatalf("degree sums %d/%d != NumEdges %d", out, in, g.NumEdges())
+		}
+		// Round trip: write and re-read must preserve the graph.
+		var buf bytes.Buffer
+		if err := WriteGr(&buf, g); err != nil {
+			t.Fatalf("WriteGr: %v", err)
+		}
+		g2, err := ReadGr(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadCategories hardens the POI-file parser the same way.
+func FuzzReadCategories(f *testing.F) {
+	f.Add("hotel 1\nhotel 2\n")
+	f.Add("# comment\n\nlake 0 # trailing\n")
+	f.Add("x -1\n")
+	f.Add("x 999\n")
+	f.Add("x\n")
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := NewBuilder(3).AddBiEdge(0, 1, 1).AddBiEdge(1, 2, 1).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ReadCategories(strings.NewReader(input), g); err != nil {
+			return
+		}
+		for _, name := range g.Categories() {
+			nodes, err := g.Category(name)
+			if err != nil || len(nodes) == 0 {
+				t.Fatalf("accepted category %q is broken: %v %v", name, nodes, err)
+			}
+			for _, v := range nodes {
+				if v < 0 || int(v) >= g.NumNodes() {
+					t.Fatalf("category %q has out-of-range node %d", name, v)
+				}
+			}
+		}
+	})
+}

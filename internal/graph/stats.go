@@ -1,0 +1,79 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph, mirroring the dataset summary of the paper's
+// Table 1 plus a few sanity measures used by the generator tests.
+type Stats struct {
+	Nodes     int
+	Edges     int
+	MinW      Weight
+	MaxW      Weight
+	SumW      int64
+	Isolated  int // nodes with neither in- nor out-edges
+	MaxOutDeg int
+}
+
+// Summarize computes Stats for g in one pass over the edges.
+func Summarize(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), MinW: Infinity}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if d := g.OutDegree(id); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if g.OutDegree(id) == 0 && g.InDegree(id) == 0 {
+			s.Isolated++
+		}
+		for _, e := range g.Out(id) {
+			if e.W < s.MinW {
+				s.MinW = e.W
+			}
+			if e.W > s.MaxW {
+				s.MaxW = e.W
+			}
+			s.SumW += e.W
+		}
+	}
+	if g.NumEdges() == 0 {
+		s.MinW = 0
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d weight=[%d,%d] isolated=%d maxOutDeg=%d",
+		s.Nodes, s.Edges, s.MinW, s.MaxW, s.Isolated, s.MaxOutDeg)
+}
+
+// StronglyConnectedFrom reports whether every node is reachable from root
+// AND root is reachable from every node — i.e. all nodes lie in root's
+// strongly connected component. Road-network generators use it to verify
+// connectivity. It runs two breadth-first traversals.
+func StronglyConnectedFrom(g *Graph, root NodeID) bool {
+	return reachesAll(g, Forward, root) && reachesAll(g, Backward, root)
+}
+
+func reachesAll(g *Graph, dir Direction, root NodeID) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := make([]NodeID, 0, n)
+	seen[root] = true
+	queue = append(queue, root)
+	count := 1
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, e := range g.Edges(dir, v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return count == n
+}

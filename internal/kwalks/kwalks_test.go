@@ -1,0 +1,215 @@
+package kwalks
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kpj/internal/bruteforce"
+	"kpj/internal/core"
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+func lengths(paths []core.Path) []graph.Weight {
+	out := make([]graph.Weight, len(paths))
+	for i, p := range paths {
+		out[i] = p.Length
+	}
+	return out
+}
+
+func checkWalks(t *testing.T, g *graph.Graph, sources, targets []graph.NodeID, walks []core.Path) {
+	t.Helper()
+	isSource := map[graph.NodeID]bool{}
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	isTarget := map[graph.NodeID]bool{}
+	for _, x := range targets {
+		isTarget[x] = true
+	}
+	var prev graph.Weight = -1
+	for i, w := range walks {
+		if !isSource[w.Nodes[0]] || !isTarget[w.Nodes[len(w.Nodes)-1]] {
+			t.Fatalf("walk %d endpoints wrong: %v", i, w.Nodes)
+		}
+		var sum graph.Weight
+		for j := 1; j < len(w.Nodes); j++ {
+			wt, ok := g.HasEdge(w.Nodes[j-1], w.Nodes[j])
+			if !ok {
+				t.Fatalf("walk %d hop (%d,%d) missing", i, w.Nodes[j-1], w.Nodes[j])
+			}
+			sum += wt
+		}
+		if sum != w.Length {
+			t.Fatalf("walk %d length %d, edges sum %d", i, w.Length, sum)
+		}
+		if w.Length < prev {
+			t.Fatalf("walk %d out of order", i)
+		}
+		prev = w.Length
+	}
+}
+
+// On a DAG there are no cycles, so top-k walks equal top-k simple paths.
+func TestWalksEqualSimplePathsOnDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1+rng.Int63n(9))
+				}
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := []graph.NodeID{0}
+		tgt := []graph.NodeID{graph.NodeID(n - 1)}
+		k := 1 + rng.Intn(10)
+		walks, err := TopK(g, src, tgt, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteforce.Lengths(bruteforce.TopK(g, src, tgt, k))
+		if !reflect.DeepEqual(lengths(walks), want) {
+			t.Fatalf("trial %d: walks %v, simple %v", trial, lengths(walks), want)
+		}
+		checkWalks(t, g, src, tgt, walks)
+	}
+}
+
+// With a cycle, walk i is never longer than simple path i, the shortest
+// ones coincide, and k walks exist even when few simple paths do.
+func TestWalksDominateSimplePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		g := testgraphs.RandomConnected(rng, n, n, 9)
+		src := []graph.NodeID{graph.NodeID(rng.Intn(n))}
+		tgt := []graph.NodeID{graph.NodeID(rng.Intn(n))}
+		k := 1 + rng.Intn(10)
+		walks, err := TopK(g, src, tgt, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(walks) != k {
+			t.Fatalf("trial %d: %d walks, want %d (cycles guarantee k)", trial, len(walks), k)
+		}
+		checkWalks(t, g, src, tgt, walks)
+		simple := bruteforce.TopK(g, src, tgt, k)
+		if walks[0].Length != simple[0].Length {
+			t.Fatalf("trial %d: shortest walk %d != shortest path %d", trial, walks[0].Length, simple[0].Length)
+		}
+		for i := 0; i < len(simple) && i < len(walks); i++ {
+			if walks[i].Length > simple[i].Length {
+				t.Fatalf("trial %d: walk %d length %d exceeds simple path %d",
+					trial, i, walks[i].Length, simple[i].Length)
+			}
+		}
+	}
+}
+
+// Hand-built: source→target edge of 5, and a 2-cycle of total 3 at the
+// source gives walks 5, 8, 11, 14, ...
+func TestWalksCycleArithmetic(t *testing.T) {
+	g, err := graph.NewBuilder(3).
+		AddEdge(0, 2, 5).
+		AddEdge(0, 1, 1).AddEdge(1, 0, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks, err := TopK(g, []graph.NodeID{0}, []graph.NodeID{2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Weight{5, 8, 11, 14}
+	if !reflect.DeepEqual(lengths(walks), want) {
+		t.Fatalf("lengths = %v, want %v", lengths(walks), want)
+	}
+	// The second walk visits 0 twice: 0,1,0,2.
+	if !reflect.DeepEqual(walks[1].Nodes, []graph.NodeID{0, 1, 0, 2}) {
+		t.Fatalf("walk 2 = %v", walks[1].Nodes)
+	}
+}
+
+func TestWalksMultiSourceAndTarget(t *testing.T) {
+	g := testgraphs.Fig1()
+	hotels, _ := g.Category(testgraphs.HotelCategory)
+	walks, err := TopK(g, []graph.NodeID{testgraphs.V1}, hotels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The undirected Fig. 1 has 2-cycles everywhere: walks densify below
+	// the simple-path sequence [5 6 7 7 8].
+	if walks[0].Length != 5 {
+		t.Fatalf("shortest walk = %d, want 5", walks[0].Length)
+	}
+	for i, w := range walks {
+		if w.Length > testgraphs.Fig1TopLengths[i] {
+			t.Fatalf("walk %d length %d exceeds simple %d", i, w.Length, testgraphs.Fig1TopLengths[i])
+		}
+	}
+}
+
+func TestWalksUnreachable(t *testing.T) {
+	g, err := graph.NewBuilder(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks, err := TopK(g, []graph.NodeID{0}, []graph.NodeID{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks) != 0 {
+		t.Fatalf("walks = %v", walks)
+	}
+}
+
+func TestWalksErrors(t *testing.T) {
+	g := testgraphs.Fig1()
+	if _, err := TopK(g, []graph.NodeID{0}, []graph.NodeID{1}, 0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	if _, err := TopK(g, nil, []graph.NodeID{1}, 1); err == nil {
+		t.Fatal("want error for no sources")
+	}
+	if _, err := TopK(g, []graph.NodeID{0}, nil, 1); err == nil {
+		t.Fatal("want error for no targets")
+	}
+	if _, err := TopK(g, []graph.NodeID{99}, []graph.NodeID{1}, 1); err == nil {
+		t.Fatal("want error for bad source")
+	}
+	if _, err := TopK(g, []graph.NodeID{0}, []graph.NodeID{99}, 1); err == nil {
+		t.Fatal("want error for bad target")
+	}
+}
+
+// Zero-weight cycles must not loop forever.
+func TestWalksZeroWeightCycle(t *testing.T) {
+	g, err := graph.NewBuilder(3).
+		AddEdge(0, 1, 0).AddEdge(1, 0, 0).
+		AddEdge(0, 2, 4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks, err := TopK(g, []graph.NodeID{0}, []graph.NodeID{2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks) != 5 {
+		t.Fatalf("got %d walks", len(walks))
+	}
+	for _, w := range walks {
+		if w.Length != 4 {
+			t.Fatalf("zero-cycle walk length %d, want 4", w.Length)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package landmark
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := testgraphs.RandomConnected(rng, 60, 180, 25)
+	ix, err := Build(g, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf, g)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Count() != ix.Count() {
+		t.Fatalf("Count = %d, want %d", got.Count(), ix.Count())
+	}
+	// Identical bounds everywhere.
+	for u := graph.NodeID(0); u < 60; u += 3 {
+		for v := graph.NodeID(0); v < 60; v += 5 {
+			if got.LowerBound(u, v) != ix.LowerBound(u, v) {
+				t.Fatalf("bound (%d,%d) differs after round trip", u, v)
+			}
+		}
+	}
+	targets := []graph.NodeID{3, 17, 42}
+	a, b := ix.BoundsToSet(targets), got.BoundsToSet(targets)
+	for u := graph.NodeID(0); u < 60; u++ {
+		if a.LowerBound(u) != b.LowerBound(u) {
+			t.Fatalf("category bound at %d differs after round trip", u)
+		}
+	}
+}
+
+func TestIndexReadRejectsWrongGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g1 := testgraphs.RandomConnected(rng, 30, 90, 25)
+	g2 := testgraphs.RandomConnected(rng, 30, 90, 25) // same size, different weights
+	ix, err := Build(g1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf, g2); !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("err = %v, want ErrIndexMismatch", err)
+	}
+}
+
+func TestIndexReadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	g := testgraphs.RandomConnected(rng, 20, 60, 25)
+	ix, err := Build(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	t.Run("flipped byte", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0xff
+		_, err := Read(bytes.NewReader(bad), g)
+		if !errors.Is(err, ErrIndexChecksum) && !errors.Is(err, ErrIndexFormat) && !errors.Is(err, ErrIndexMismatch) {
+			t.Fatalf("corruption not detected: %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader(data[:len(data)-10]), g); !errors.Is(err, ErrIndexFormat) {
+			t.Fatalf("err = %v, want ErrIndexFormat", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] = 'X'
+		if _, err := Read(bytes.NewReader(bad), g); !errors.Is(err, ErrIndexFormat) {
+			t.Fatalf("err = %v, want ErrIndexFormat", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader(nil), g); !errors.Is(err, ErrIndexFormat) {
+			t.Fatalf("err = %v, want ErrIndexFormat", err)
+		}
+	})
+}

@@ -1,0 +1,274 @@
+// Package landmark implements the landmark-based (ALT-style) lower-bound
+// index of the paper (Section 4.2). A set L of landmark nodes is chosen
+// offline by the farthest-point heuristic (paper footnote 3); for each
+// landmark w the distances δ(w, ·) and δ(·, w) are precomputed. Triangle
+// inequalities then give lower bounds on any shortest distance:
+//
+//	δ(u, v) ≥ δ(w, v) − δ(w, u)   and   δ(u, v) ≥ δ(u, w) − δ(v, w)
+//
+// The per-query bound to a destination category (the paper's Eq. 2) is
+// supported through Bounds, which precomputes min_{v∈V_T} δ(w, v) and
+// max_{v∈V_T} δ(v, w) once per query so each lb(u, V_T) evaluation costs
+// O(|L|).
+//
+// Distances are stored as int32 to halve the index footprint (the paper
+// reports O(|L|·n) space). Two sentinels keep the bounds admissible:
+// unreachable pairs and distances that overflow int32 are never used in a
+// way that could overestimate.
+package landmark
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kpj/internal/graph"
+	"kpj/internal/sssp"
+)
+
+const (
+	// unreach32 marks a node pair with no connecting path.
+	unreach32 = math.MaxInt32
+	// far32 marks a reachable pair whose distance does not fit in int32.
+	// Such entries are usable only where an under-estimate is safe.
+	far32 = math.MaxInt32 - 1
+)
+
+// Index is an immutable landmark distance index over one graph. It is safe
+// for concurrent use.
+type Index struct {
+	g         *graph.Graph
+	landmarks []graph.NodeID
+	fwd       [][]int32 // fwd[i][v] = δ(landmarks[i], v)
+	bwd       [][]int32 // bwd[i][v] = δ(v, landmarks[i])
+}
+
+// Build selects `count` landmarks with the farthest-point heuristic seeded
+// by seed and precomputes their distance tables. count is clamped to the
+// number of nodes. It returns an error only for an empty graph or
+// non-positive count.
+func Build(g *graph.Graph, count int, seed int64) (*Index, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("landmark: empty graph")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("landmark: count %d must be positive", count)
+	}
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := graph.NodeID(rng.Intn(n))
+
+	// Farthest-point selection: the first landmark is the node farthest
+	// from a random start; each next landmark is the node farthest from
+	// the chosen set (min-distance to the set, unreachable = infinitely
+	// far, ties broken by smaller id for determinism).
+	distToSet := sssp.Dijkstra(g, graph.Forward, start).Dist
+	chosen := make([]graph.NodeID, 0, count)
+	inSet := make([]bool, n)
+	for len(chosen) < count {
+		best := graph.NodeID(-1)
+		var bestD graph.Weight = -1
+		for v := 0; v < n; v++ {
+			if inSet[v] {
+				continue
+			}
+			if distToSet[v] > bestD {
+				bestD = distToSet[v]
+				best = graph.NodeID(v)
+			}
+		}
+		if best < 0 {
+			break // fewer distinct nodes than requested
+		}
+		chosen = append(chosen, best)
+		inSet[best] = true
+		from := sssp.Dijkstra(g, graph.Forward, best).Dist
+		for v := 0; v < n; v++ {
+			if from[v] < distToSet[v] {
+				distToSet[v] = from[v]
+			}
+		}
+	}
+	return BuildWithLandmarks(g, chosen)
+}
+
+// BuildRandom selects `count` landmarks uniformly at random — the naive
+// selection strategy, kept as an ablation baseline for the farthest-point
+// heuristic Build uses (paper footnote 3). Random landmarks tend to
+// cluster and give looser bounds on road networks.
+func BuildRandom(g *graph.Graph, count int, seed int64) (*Index, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("landmark: empty graph")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("landmark: count %d must be positive", count)
+	}
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	chosen := make([]graph.NodeID, count)
+	for i := 0; i < count; i++ {
+		chosen[i] = graph.NodeID(perm[i])
+	}
+	return BuildWithLandmarks(g, chosen)
+}
+
+// BuildWithLandmarks builds the index for an explicit landmark set.
+func BuildWithLandmarks(g *graph.Graph, landmarks []graph.NodeID) (*Index, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("landmark: no landmarks")
+	}
+	ix := &Index{
+		g:         g,
+		landmarks: append([]graph.NodeID(nil), landmarks...),
+		fwd:       make([][]int32, len(landmarks)),
+		bwd:       make([][]int32, len(landmarks)),
+	}
+	for i, w := range ix.landmarks {
+		if w < 0 || int(w) >= g.NumNodes() {
+			return nil, fmt.Errorf("landmark: %w: landmark %d", graph.ErrNodeRange, w)
+		}
+		ix.fwd[i] = compress(sssp.Dijkstra(g, graph.Forward, w).Dist)
+		ix.bwd[i] = compress(sssp.Dijkstra(g, graph.Backward, w).Dist)
+	}
+	return ix, nil
+}
+
+func compress(dist []graph.Weight) []int32 {
+	out := make([]int32, len(dist))
+	for i, d := range dist {
+		switch {
+		case d >= graph.Infinity:
+			out[i] = unreach32
+		case d >= far32:
+			out[i] = far32
+		default:
+			out[i] = int32(d)
+		}
+	}
+	return out
+}
+
+// Count returns the number of landmarks.
+func (ix *Index) Count() int { return len(ix.landmarks) }
+
+// Landmarks returns a copy of the landmark node ids.
+func (ix *Index) Landmarks() []graph.NodeID {
+	return append([]graph.NodeID(nil), ix.landmarks...)
+}
+
+// SizeBytes estimates the index memory footprint (the 2·|L|·n table).
+func (ix *Index) SizeBytes() int64 {
+	return int64(len(ix.landmarks)) * int64(ix.g.NumNodes()) * 8
+}
+
+// LowerBound returns an admissible lower bound on δ(u, v): the bound never
+// exceeds the true shortest distance, and is graph.Infinity only when v is
+// provably unreachable from u.
+func (ix *Index) LowerBound(u, v graph.NodeID) graph.Weight {
+	if u == v {
+		return 0
+	}
+	var lb graph.Weight
+	for i := range ix.landmarks {
+		// Forward table: δ(u,v) ≥ δ(w,v) − δ(w,u).
+		du, dv := ix.fwd[i][u], ix.fwd[i][v]
+		if du < far32 { // exact δ(w,u)
+			if dv == unreach32 {
+				return graph.Infinity // w reaches u but not v ⇒ u cannot reach v
+			}
+			if t := graph.Weight(dv) - graph.Weight(du); t > lb {
+				lb = t // dv may be far32 (an under-estimate): still admissible
+			}
+		}
+		// Backward table: δ(u,v) ≥ δ(u,w) − δ(v,w).
+		au, av := ix.bwd[i][u], ix.bwd[i][v]
+		if av < far32 { // exact δ(v,w)
+			if au == unreach32 {
+				return graph.Infinity // v reaches w but u does not ⇒ u cannot reach v
+			}
+			if au < far32 {
+				if t := graph.Weight(au) - graph.Weight(av); t > lb {
+					lb = t
+				}
+			}
+		}
+	}
+	return lb
+}
+
+// Bounds holds the per-query precomputation for lb(u, V_T) (paper Eq. 2):
+// for each landmark w, minFwd = min_{v∈V_T} δ(w, v) and
+// maxBwd = max_{v∈V_T} δ(v, w). Building it costs O(|L|·|V_T|), exactly the
+// once-per-query cost the paper reports; each LowerBound call is O(|L|).
+type Bounds struct {
+	ix     *Index
+	minFwd []int32
+	maxBwd []int32
+}
+
+// BoundsToSet precomputes the Eq. 2 tables for a destination set. It panics
+// on an empty target set (queries validate V_T before reaching here).
+func (ix *Index) BoundsToSet(targets []graph.NodeID) *Bounds {
+	if len(targets) == 0 {
+		panic("landmark: empty target set")
+	}
+	b := &Bounds{
+		ix:     ix,
+		minFwd: make([]int32, len(ix.landmarks)),
+		maxBwd: make([]int32, len(ix.landmarks)),
+	}
+	for i := range ix.landmarks {
+		minF, maxB := int32(unreach32), int32(0)
+		for _, v := range targets {
+			if d := ix.fwd[i][v]; d < minF {
+				minF = d
+			}
+			if d := ix.bwd[i][v]; d > maxB {
+				maxB = d
+			}
+		}
+		b.minFwd[i] = minF
+		b.maxBwd[i] = maxB
+	}
+	return b
+}
+
+// LowerBound returns an admissible lower bound on min_{v∈V_T} δ(u, v).
+func (b *Bounds) LowerBound(u graph.NodeID) graph.Weight {
+	ix := b.ix
+	var lb graph.Weight
+	for i := range ix.landmarks {
+		// Forward: min_v δ(u,v) ≥ min_v δ(w,v) − δ(w,u).
+		du := ix.fwd[i][u]
+		if du < far32 {
+			minF := b.minFwd[i]
+			if minF == unreach32 {
+				return graph.Infinity // w reaches u but no target
+			}
+			if t := graph.Weight(minF) - graph.Weight(du); t > lb {
+				lb = t
+			}
+		}
+		// Backward: min_v δ(u,v) ≥ δ(u,w) − max_v δ(v,w).
+		maxB := b.maxBwd[i]
+		if maxB < far32 { // every target's δ(v,w) is exact and finite
+			au := ix.bwd[i][u]
+			if au == unreach32 {
+				return graph.Infinity // all targets reach w, u does not
+			}
+			if au < far32 {
+				if t := graph.Weight(au) - graph.Weight(maxB); t > lb {
+					lb = t
+				}
+			}
+		}
+	}
+	return lb
+}

@@ -1,0 +1,295 @@
+// Package server exposes a loaded graph as a small JSON-over-HTTP query
+// service (standard library only) — the deployment wrapper a KPJ index
+// typically lives behind: build the graph and landmark index once, then
+// serve KPJ / KSP / GKPJ queries and batches.
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness + graph shape
+//	GET  /categories    category names with sizes
+//	GET  /query         one query via URL parameters
+//	POST /batch         JSON array of queries, answered concurrently
+//
+// /query parameters: source (node id) or sourceCategory, plus category
+// (destination) or target (node id); optional k (default 10), alg
+// (IterBoundI, IterBoundP, IterBound, BestFirst, DA, DA-SPT), alpha.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"kpj"
+)
+
+// Server is the http.Handler. Queries run against one immutable graph and
+// optional landmark index; it is safe for concurrent use.
+type Server struct {
+	g   *kpj.Graph
+	ix  *kpj.Index
+	mux *http.ServeMux
+	// maxK bounds per-request k to keep one request from monopolizing
+	// the process.
+	maxK int
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxK overrides the per-request k limit (default 1000).
+func WithMaxK(k int) Option {
+	return func(s *Server) { s.maxK = k }
+}
+
+// New builds a Server over g with an optional landmark index.
+func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
+	s := &Server{g: g, ix: ix, mux: http.NewServeMux(), maxK: 1000}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /categories", s.handleCategories)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// PathJSON is one result path on the wire.
+type PathJSON struct {
+	Nodes  []kpj.NodeID `json:"nodes"`
+	Length kpj.Weight   `json:"length"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Paths  []PathJSON `json:"paths"`
+	Micros int64      `json:"micros"`
+	Stats  *kpj.Stats `json:"stats,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"nodes":      s.g.NumNodes(),
+		"edges":      s.g.NumEdges(),
+		"categories": len(s.g.Categories()),
+		"indexed":    s.ix != nil,
+	})
+}
+
+func (s *Server) handleCategories(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]int{}
+	for _, name := range s.g.Categories() {
+		nodes, err := s.g.Category(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "category %q: %v", name, err)
+			return
+		}
+		out[name] = len(nodes)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+var algorithmByName = map[string]kpj.Algorithm{
+	"":           kpj.IterBoundSPTI,
+	"IterBoundI": kpj.IterBoundSPTI,
+	"IterBoundP": kpj.IterBoundSPTP,
+	"IterBound":  kpj.IterBound,
+	"BestFirst":  kpj.BestFirst,
+	"DA":         kpj.DA,
+	"DA-SPT":     kpj.DASPT,
+}
+
+// queryParams is the parsed, validated request.
+type queryParams struct {
+	sources []kpj.NodeID
+	targets []kpj.NodeID
+	k       int
+	opt     *kpj.Options
+}
+
+func (s *Server) parseQuery(get func(string) string, withStats bool) (queryParams, error) {
+	var p queryParams
+
+	switch srcCat, src := get("sourceCategory"), get("source"); {
+	case srcCat != "" && src != "":
+		return p, fmt.Errorf("give either source or sourceCategory, not both")
+	case srcCat != "":
+		nodes, err := s.g.Category(srcCat)
+		if err != nil {
+			return p, fmt.Errorf("unknown sourceCategory %q", srcCat)
+		}
+		p.sources = nodes
+	case src != "":
+		id, err := strconv.ParseInt(src, 10, 32)
+		if err != nil {
+			return p, fmt.Errorf("bad source %q", src)
+		}
+		p.sources = []kpj.NodeID{kpj.NodeID(id)}
+	default:
+		return p, fmt.Errorf("source or sourceCategory is required")
+	}
+
+	switch cat, tgt := get("category"), get("target"); {
+	case cat != "" && tgt != "":
+		return p, fmt.Errorf("give either category or target, not both")
+	case cat != "":
+		nodes, err := s.g.Category(cat)
+		if err != nil {
+			return p, fmt.Errorf("unknown category %q", cat)
+		}
+		p.targets = nodes
+	case tgt != "":
+		id, err := strconv.ParseInt(tgt, 10, 32)
+		if err != nil {
+			return p, fmt.Errorf("bad target %q", tgt)
+		}
+		p.targets = []kpj.NodeID{kpj.NodeID(id)}
+	default:
+		return p, fmt.Errorf("category or target is required")
+	}
+
+	p.k = 10
+	if ks := get("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil || k <= 0 {
+			return p, fmt.Errorf("bad k %q", ks)
+		}
+		p.k = k
+	}
+	if p.k > s.maxK {
+		return p, fmt.Errorf("k %d exceeds the server limit %d", p.k, s.maxK)
+	}
+
+	algo, ok := algorithmByName[get("alg")]
+	if !ok {
+		return p, fmt.Errorf("unknown alg %q", get("alg"))
+	}
+	p.opt = &kpj.Options{Algorithm: algo, Index: s.ix}
+	if as := get("alpha"); as != "" {
+		alpha, err := strconv.ParseFloat(as, 64)
+		if err != nil || alpha <= 1 {
+			return p, fmt.Errorf("bad alpha %q (must exceed 1)", as)
+		}
+		p.opt.Alpha = alpha
+	}
+	if withStats {
+		p.opt.Stats = &kpj.Stats{}
+	}
+	return p, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	withStats := q.Get("stats") == "1"
+	p, err := s.parseQuery(q.Get, withStats)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	paths, err := s.g.TopKJoinSets(p.sources, p.targets, p.k, p.opt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := QueryResponse{
+		Paths:  make([]PathJSON, len(paths)),
+		Micros: time.Since(start).Microseconds(),
+		Stats:  p.opt.Stats,
+	}
+	for i, path := range paths {
+		resp.Paths[i] = PathJSON{Nodes: path.Nodes, Length: path.Length}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequestItem is one query of a /batch request.
+type BatchRequestItem struct {
+	Sources []kpj.NodeID `json:"sources,omitempty"`
+	Targets []kpj.NodeID `json:"targets,omitempty"`
+	// Category names may be used instead of explicit node sets.
+	SourceCategory string `json:"sourceCategory,omitempty"`
+	Category       string `json:"category,omitempty"`
+	K              int    `json:"k"`
+}
+
+// BatchResponseItem is the result at the same index.
+type BatchResponseItem struct {
+	Paths []PathJSON `json:"paths,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var items []BatchRequestItem
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&items); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	queries := make([]kpj.BatchQuery, len(items))
+	resolveErr := make([]error, len(items))
+	for i, it := range items {
+		q := kpj.BatchQuery{Sources: it.Sources, Targets: it.Targets, K: it.K}
+		if q.K == 0 {
+			q.K = 10
+		}
+		if q.K > s.maxK {
+			resolveErr[i] = fmt.Errorf("k %d exceeds the server limit %d", q.K, s.maxK)
+			continue
+		}
+		if it.SourceCategory != "" {
+			nodes, err := s.g.Category(it.SourceCategory)
+			if err != nil {
+				resolveErr[i] = fmt.Errorf("unknown sourceCategory %q", it.SourceCategory)
+				continue
+			}
+			q.Sources = nodes
+		}
+		if it.Category != "" {
+			nodes, err := s.g.Category(it.Category)
+			if err != nil {
+				resolveErr[i] = fmt.Errorf("unknown category %q", it.Category)
+				continue
+			}
+			q.Targets = nodes
+		}
+		queries[i] = q
+	}
+	results := s.g.Batch(queries, 0, &kpj.Options{Index: s.ix})
+	out := make([]BatchResponseItem, len(items))
+	for i := range items {
+		switch {
+		case resolveErr[i] != nil:
+			out[i].Error = resolveErr[i].Error()
+		case results[i].Err != nil:
+			out[i].Error = results[i].Err.Error()
+		default:
+			out[i].Paths = make([]PathJSON, len(results[i].Paths))
+			for j, p := range results[i].Paths {
+				out[i].Paths[j] = PathJSON{Nodes: p.Nodes, Length: p.Length}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

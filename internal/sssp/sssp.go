@@ -1,0 +1,192 @@
+// Package sssp implements single-source (and multi-source) shortest path
+// computation: Dijkstra's algorithm, A* point-to-point search, and
+// shortest-path trees with path reconstruction. These are the building
+// blocks for landmark preprocessing, the DA-SPT baseline's full SPT, the
+// workload generator's distance-percentile studies, and test oracles.
+package sssp
+
+import (
+	"fmt"
+
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// Tree is a shortest-path tree (more precisely, forest) produced by
+// Dijkstra. For a Forward tree rooted at sources S, Dist[v] is the shortest
+// distance from the nearest source to v and Parent[v] is v's predecessor on
+// that path. For a Backward tree, Dist[v] is the shortest distance from v
+// TO the nearest source (the roots act as destinations) and Parent[v] is
+// v's successor on that path.
+type Tree struct {
+	Dir    graph.Direction
+	Dist   []graph.Weight // graph.Infinity when unreachable
+	Parent []graph.NodeID // -1 for roots and unreachable nodes
+}
+
+// Reached reports whether v was reached from (or reaches) a root.
+func (t *Tree) Reached(v graph.NodeID) bool { return t.Dist[v] < graph.Infinity }
+
+// PathFrom reconstructs the tree path involving v:
+// for a Forward tree it returns root→…→v; for a Backward tree v→…→root.
+// It returns nil if v is unreachable.
+func (t *Tree) PathFrom(v graph.NodeID) []graph.NodeID {
+	if !t.Reached(v) {
+		return nil
+	}
+	var chain []graph.NodeID
+	for u := v; u >= 0; u = t.Parent[u] {
+		chain = append(chain, u)
+	}
+	if t.Dir == graph.Forward {
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+	}
+	return chain
+}
+
+// Dijkstra computes a shortest-path tree over g in the given direction from
+// the source set. With dir == Forward, distances grow along out-edges
+// (classic SSSP from the sources); with dir == Backward, Dist[v] is the
+// distance from v to the nearest source following forward edges (the search
+// itself walks in-edges). It panics if sources is empty or out of range.
+func Dijkstra(g *graph.Graph, dir graph.Direction, sources ...graph.NodeID) *Tree {
+	offsets := make([]graph.Weight, len(sources))
+	return DijkstraOffsets(g, dir, sources, offsets)
+}
+
+// DijkstraOffsets is Dijkstra with a per-source initial distance, which
+// models the zero/ω-weight virtual-node reductions of the paper (Sections 3
+// and 6): a virtual node connected to source i with weight offsets[i].
+func DijkstraOffsets(g *graph.Graph, dir graph.Direction, sources []graph.NodeID, offsets []graph.Weight) *Tree {
+	if len(sources) == 0 {
+		panic("sssp: no sources")
+	}
+	if len(sources) != len(offsets) {
+		panic(fmt.Sprintf("sssp: %d sources but %d offsets", len(sources), len(offsets)))
+	}
+	n := g.NumNodes()
+	t := &Tree{
+		Dir:    dir,
+		Dist:   make([]graph.Weight, n),
+		Parent: make([]graph.NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = graph.Infinity
+		t.Parent[i] = -1
+	}
+	q := pqueue.NewNodeQueue(n)
+	for i, s := range sources {
+		if s < 0 || int(s) >= n {
+			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", s, n))
+		}
+		if offsets[i] < t.Dist[s] {
+			t.Dist[s] = offsets[i]
+			q.PushOrDecrease(s, offsets[i])
+		}
+	}
+	for q.Len() > 0 {
+		v, d := q.Pop()
+		if d > t.Dist[v] {
+			continue // stale entry (NodeQueue avoids these, but be safe)
+		}
+		for _, e := range g.Edges(dir, v) {
+			if nd := d + e.W; nd < t.Dist[e.To] {
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = v
+				q.PushOrDecrease(e.To, nd)
+			}
+		}
+	}
+	return t
+}
+
+// DistancesToSet returns, for every node v, the shortest distance from v to
+// the nearest node of targets (following forward edges). This is δ(v, t) in
+// the paper's virtual-target graph G_Q, computed as one multi-source
+// backward Dijkstra.
+func DistancesToSet(g *graph.Graph, targets []graph.NodeID) []graph.Weight {
+	return Dijkstra(g, graph.Backward, targets...).Dist
+}
+
+// AStar finds a shortest path from `from` to `to` in direction dir using
+// the admissible heuristic h(v) ≥ 0 (a lower bound on the remaining
+// distance from v to `to` in that direction; pass nil for plain Dijkstra).
+// It returns the node sequence in traversal order (from→…→to; for a
+// Backward search this is the reverse of the forward-graph path), its
+// length, and whether `to` is reachable.
+func AStar(g *graph.Graph, dir graph.Direction, from, to graph.NodeID, h func(graph.NodeID) graph.Weight) ([]graph.NodeID, graph.Weight, bool) {
+	n := g.NumNodes()
+	dist := make([]graph.Weight, n)
+	parent := make([]graph.NodeID, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+		parent[i] = -1
+	}
+	hv := func(v graph.NodeID) graph.Weight {
+		if h == nil {
+			return 0
+		}
+		return h(v)
+	}
+	q := pqueue.NewNodeQueue(n)
+	dist[from] = 0
+	q.PushOrDecrease(from, hv(from))
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		if v == to {
+			break
+		}
+		for _, e := range g.Edges(dir, v) {
+			if nd := dist[v] + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				parent[e.To] = v
+				q.PushOrDecrease(e.To, nd+hv(e.To))
+			}
+		}
+	}
+	if dist[to] >= graph.Infinity {
+		return nil, graph.Infinity, false
+	}
+	var chain []graph.NodeID
+	for u := to; u >= 0; u = parent[u] {
+		chain = append(chain, u)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, dist[to], true
+}
+
+// PathLength sums the weights along the node sequence path in g, verifying
+// that each hop is an existing edge (the lightest parallel edge is used).
+// It returns an error if a hop does not exist.
+func PathLength(g *graph.Graph, path []graph.NodeID) (graph.Weight, error) {
+	var total graph.Weight
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := g.HasEdge(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("sssp: path hop (%d,%d) is not an edge", path[i], path[i+1])
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// IsSimple reports whether the node sequence contains no repeated node.
+func IsSimple(path []graph.NodeID) bool {
+	seen := make(map[graph.NodeID]struct{}, len(path))
+	for _, v := range path {
+		if _, dup := seen[v]; dup {
+			return false
+		}
+		seen[v] = struct{}{}
+	}
+	return true
+}

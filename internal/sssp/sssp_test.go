@@ -1,0 +1,312 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+// bellmanFord is the reference SSSP used to validate Dijkstra.
+func bellmanFord(g *graph.Graph, dir graph.Direction, sources []graph.NodeID, offsets []graph.Weight) []graph.Weight {
+	n := g.NumNodes()
+	dist := make([]graph.Weight, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	for i, s := range sources {
+		if offsets[i] < dist[s] {
+			dist[s] = offsets[i]
+		}
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if dist[v] >= graph.Infinity {
+				continue
+			}
+			for _, e := range g.Edges(dir, v) {
+				if nd := dist[v] + e.W; nd < dist[e.To] {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestDijkstraMatchesBellmanFordRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		g := testgraphs.Random(rng, n, 3, 20, trial%2 == 0)
+		src := graph.NodeID(rng.Intn(n))
+		for _, dir := range []graph.Direction{graph.Forward, graph.Backward} {
+			tree := Dijkstra(g, dir, src)
+			want := bellmanFord(g, dir, []graph.NodeID{src}, []graph.Weight{0})
+			for v := 0; v < n; v++ {
+				if tree.Dist[v] != want[v] {
+					t.Fatalf("trial %d dir %v: Dist[%d] = %d, want %d", trial, dir, v, tree.Dist[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraMultiSourceOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(30)
+		g := testgraphs.Random(rng, n, 3, 15, false)
+		k := 1 + rng.Intn(4)
+		sources := make([]graph.NodeID, k)
+		offsets := make([]graph.Weight, k)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.Intn(n))
+			offsets[i] = graph.Weight(rng.Intn(10))
+		}
+		tree := DijkstraOffsets(g, graph.Forward, sources, offsets)
+		want := bellmanFord(g, graph.Forward, sources, offsets)
+		for v := 0; v < n; v++ {
+			if tree.Dist[v] != want[v] {
+				t.Fatalf("trial %d: Dist[%d] = %d, want %d", trial, v, tree.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraTreeParentsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testgraphs.RandomConnected(rng, 60, 120, 30)
+	tree := Dijkstra(g, graph.Forward, 0)
+	for v := graph.NodeID(1); int(v) < g.NumNodes(); v++ {
+		p := tree.Parent[v]
+		if p < 0 {
+			t.Fatalf("connected graph: node %d has no parent", v)
+		}
+		w, ok := g.HasEdge(p, v)
+		if !ok {
+			t.Fatalf("parent edge (%d,%d) missing", p, v)
+		}
+		if tree.Dist[p]+w != tree.Dist[v] {
+			t.Fatalf("tree edge (%d,%d): %d + %d != %d", p, v, tree.Dist[p], w, tree.Dist[v])
+		}
+	}
+}
+
+func TestPathFromForwardAndBackward(t *testing.T) {
+	// 0 -> 1 -> 2, weights 1, 2.
+	g, err := graph.NewBuilder(3).AddEdge(0, 1, 1).AddEdge(1, 2, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := Dijkstra(g, graph.Forward, 0)
+	if p := fwd.PathFrom(2); len(p) != 3 || p[0] != 0 || p[1] != 1 || p[2] != 2 {
+		t.Fatalf("forward PathFrom(2) = %v", p)
+	}
+	bwd := Dijkstra(g, graph.Backward, 2)
+	if bwd.Dist[0] != 3 {
+		t.Fatalf("backward Dist[0] = %d, want 3", bwd.Dist[0])
+	}
+	if p := bwd.PathFrom(0); len(p) != 3 || p[0] != 0 || p[2] != 2 {
+		t.Fatalf("backward PathFrom(0) = %v", p)
+	}
+	if p := fwd.PathFrom(0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("PathFrom(root) = %v", p)
+	}
+}
+
+func TestPathFromUnreachable(t *testing.T) {
+	g, err := graph.NewBuilder(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := Dijkstra(g, graph.Forward, 0)
+	if tree.Reached(1) {
+		t.Fatal("node 1 should be unreachable")
+	}
+	if p := tree.PathFrom(1); p != nil {
+		t.Fatalf("PathFrom(unreachable) = %v", p)
+	}
+}
+
+func TestDistancesToSetFig1(t *testing.T) {
+	g := testgraphs.Fig1()
+	hotels, err := g.Category(testgraphs.HotelCategory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := DistancesToSet(g, hotels)
+	// From the fixture: δ(v1, {v4,v6,v7}) = 5 via (v1,v8,v7).
+	if dist[testgraphs.V1] != 5 {
+		t.Fatalf("dist(v1,H) = %d, want 5", dist[testgraphs.V1])
+	}
+	for _, h := range hotels {
+		if dist[h] != 0 {
+			t.Fatalf("dist(%d,H) = %d, want 0", h, dist[h])
+		}
+	}
+	// δ(v5, H) = 2 via (v5,v6).
+	if dist[testgraphs.V5] != 2 {
+		t.Fatalf("dist(v5,H) = %d, want 2", dist[testgraphs.V5])
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		g := testgraphs.RandomConnected(rng, n, 2*n, 25)
+		from := graph.NodeID(rng.Intn(n))
+		to := graph.NodeID(rng.Intn(n))
+		// Admissible, consistent heuristic: exact distance to target.
+		exact := Dijkstra(g, graph.Backward, to)
+		h := func(v graph.NodeID) graph.Weight { return exact.Dist[v] }
+		path, d, ok := AStar(g, graph.Forward, from, to, h)
+		if !ok {
+			t.Fatalf("trial %d: unreachable in connected graph", trial)
+		}
+		if d != exact.Dist[from] {
+			t.Fatalf("trial %d: AStar dist %d, want %d", trial, d, exact.Dist[from])
+		}
+		if path[0] != from || path[len(path)-1] != to {
+			t.Fatalf("trial %d: path endpoints %v", trial, path)
+		}
+		if got, err := PathLength(g, path); err != nil || got != d {
+			t.Fatalf("trial %d: path length %d (err %v), want %d", trial, got, err, d)
+		}
+		if !IsSimple(path) {
+			t.Fatalf("trial %d: non-simple path %v", trial, path)
+		}
+		// Nil heuristic must agree.
+		_, d2, ok2 := AStar(g, graph.Forward, from, to, nil)
+		if !ok2 || d2 != d {
+			t.Fatalf("trial %d: nil-heuristic AStar %d/%v, want %d", trial, d2, ok2, d)
+		}
+	}
+}
+
+func TestAStarBackward(t *testing.T) {
+	g, err := graph.NewBuilder(3).AddEdge(0, 1, 4).AddEdge(1, 2, 6).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backward search from 2 to 0 walks in-edges; path reported 2→…→0.
+	path, d, ok := AStar(g, graph.Backward, 2, 0, nil)
+	if !ok || d != 10 {
+		t.Fatalf("backward AStar = %d/%v", d, ok)
+	}
+	if len(path) != 3 || path[0] != 2 || path[2] != 0 {
+		t.Fatalf("backward path = %v", path)
+	}
+}
+
+func TestAStarUnreachable(t *testing.T) {
+	g, err := graph.NewBuilder(2).AddEdge(1, 0, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := AStar(g, graph.Forward, 0, 1, nil); ok {
+		t.Fatal("expected unreachable")
+	}
+}
+
+func TestAStarSameNode(t *testing.T) {
+	g, err := graph.NewBuilder(2).AddEdge(0, 1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, d, ok := AStar(g, graph.Forward, 0, 0, nil)
+	if !ok || d != 0 || len(path) != 1 || path[0] != 0 {
+		t.Fatalf("self path = %v/%d/%v", path, d, ok)
+	}
+}
+
+func TestPathLengthErrors(t *testing.T) {
+	g, err := graph.NewBuilder(3).AddEdge(0, 1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PathLength(g, []graph.NodeID{0, 2}); err == nil {
+		t.Fatal("want error for missing hop")
+	}
+	if d, err := PathLength(g, []graph.NodeID{0}); err != nil || d != 0 {
+		t.Fatalf("singleton path = %d/%v", d, err)
+	}
+	if d, err := PathLength(g, nil); err != nil || d != 0 {
+		t.Fatalf("nil path = %d/%v", d, err)
+	}
+}
+
+func TestIsSimple(t *testing.T) {
+	if !IsSimple([]graph.NodeID{1, 2, 3}) || IsSimple([]graph.NodeID{1, 2, 1}) {
+		t.Fatal("IsSimple misbehaves")
+	}
+	if !IsSimple(nil) {
+		t.Fatal("nil path should be simple")
+	}
+}
+
+// Property (testing/quick): Dijkstra's output is a relaxation fixpoint —
+// dist[src] = 0, every edge satisfies dist[v] ≤ dist[u] + w, and every
+// reached node's parent edge is tight.
+func TestDijkstraFixpointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	check := func(nRaw uint8, degRaw, srcRaw uint16, undirected bool) bool {
+		n := 1 + int(nRaw%40)
+		g := testgraphs.Random(rng, n, 1+int(degRaw%4), 12, undirected)
+		src := graph.NodeID(int(srcRaw) % n)
+		tree := Dijkstra(g, graph.Forward, src)
+		if tree.Dist[src] != 0 {
+			return false
+		}
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			if !tree.Reached(u) {
+				continue
+			}
+			for _, e := range g.Out(u) {
+				if tree.Dist[e.To] > tree.Dist[u]+e.W {
+					return false // relaxable edge remains
+				}
+			}
+			if p := tree.Parent[u]; p >= 0 {
+				w, ok := g.HasEdge(p, u)
+				if !ok || tree.Dist[p]+w != tree.Dist[u] {
+					return false // parent edge not tight
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraPanics(t *testing.T) {
+	g, err := graph.NewBuilder(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, "no sources", func() { Dijkstra(g, graph.Forward) })
+	assertPanics(t, "source range", func() { Dijkstra(g, graph.Forward, 5) })
+	assertPanics(t, "offset mismatch", func() {
+		DijkstraOffsets(g, graph.Forward, []graph.NodeID{0}, nil)
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

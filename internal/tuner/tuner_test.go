@@ -1,0 +1,140 @@
+package tuner
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpj/internal/gen"
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+func roadWithCategory(t *testing.T) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	g, err := gen.Road(gen.RoadConfig{Width: 40, Height: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	targets := testgraphs.RandomCategory(rng, g, "T", 4)
+	return g, targets
+}
+
+func TestTunePicksCheapestTrial(t *testing.T) {
+	g, targets := roadWithCategory(t)
+	res, err := Tune(g, targets, Config{
+		LandmarkCounts: []int{0, 4, 8},
+		Alphas:         []float64{1.1, 1.5},
+		SampleQueries:  6,
+		K:              10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 6 {
+		t.Fatalf("got %d trials, want 6", len(res.Trials))
+	}
+	for i := 1; i < len(res.Trials); i++ {
+		if res.Trials[i].Cost < res.Trials[i-1].Cost {
+			t.Fatal("trials not sorted by cost")
+		}
+	}
+	best := res.Trials[0]
+	if res.Landmarks != best.Landmarks || res.Alpha != best.Alpha || res.Cost != best.Cost {
+		t.Fatalf("Result %+v does not match cheapest trial %+v", res, best)
+	}
+	if res.Landmarks > 0 && res.Index == nil {
+		t.Fatal("winning landmark config must carry its index")
+	}
+	if res.Landmarks == 0 && res.Index != nil {
+		t.Fatal("no-landmark winner must have nil index")
+	}
+	// Landmarks reduce exploration on road networks: the best config with
+	// landmarks must beat (or tie) the no-landmark trials.
+	var bestNL, bestL int64 = -1, -1
+	for _, tr := range res.Trials {
+		if tr.Landmarks == 0 {
+			if bestNL < 0 || tr.Cost < bestNL {
+				bestNL = tr.Cost
+			}
+		} else if bestL < 0 || tr.Cost < bestL {
+			bestL = tr.Cost
+		}
+	}
+	if bestL > bestNL {
+		t.Fatalf("landmarked best %d worse than no-landmark best %d", bestL, bestNL)
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	g, targets := roadWithCategory(t)
+	cfg := Config{LandmarkCounts: []int{4}, Alphas: []float64{1.1, 1.3}, SampleQueries: 5, K: 8, Seed: 9}
+	a, err := Tune(g, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(g, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Landmarks != b.Landmarks || a.Alpha != b.Alpha || a.Cost != b.Cost {
+		t.Fatalf("nondeterministic tuning: %+v vs %+v", a, b)
+	}
+	for i := range a.Trials {
+		if a.Trials[i] != b.Trials[i] {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, a.Trials[i], b.Trials[i])
+		}
+	}
+}
+
+func TestTuneDefaults(t *testing.T) {
+	g, targets := roadWithCategory(t)
+	res, err := Tune(g, targets, Config{SampleQueries: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4*4 {
+		t.Fatalf("default grid should have 16 trials, got %d", len(res.Trials))
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	g, targets := roadWithCategory(t)
+	if _, err := Tune(g, nil, Config{}); err == nil {
+		t.Fatal("want error for empty targets")
+	}
+	if _, err := Tune(g, targets, Config{Alphas: []float64{0.9}}); err == nil {
+		t.Fatal("want error for alpha <= 1")
+	}
+	// An isolated target: only itself reaches it, yet tuning still works
+	// (the sample degenerates to the target node).
+	iso, err := graph.NewBuilder(3).AddEdge(0, 1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(iso, []graph.NodeID{2}, Config{LandmarkCounts: []int{0}, Alphas: []float64{1.1}})
+	if err != nil {
+		t.Fatalf("isolated target: %v", err)
+	}
+	if len(res.Trials) != 1 {
+		t.Fatalf("isolated target trials = %v", res.Trials)
+	}
+}
+
+func TestSampleSourcesStratified(t *testing.T) {
+	g, targets := roadWithCategory(t)
+	sources, err := sampleSources(g, targets, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 10 {
+		t.Fatalf("got %d sources", len(sources))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range sources {
+		if seen[s] {
+			t.Fatalf("duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,247 @@
+package kpj
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"kpj/internal/core"
+	"kpj/internal/deviation"
+	"kpj/internal/kwalks"
+	"kpj/internal/landmark"
+)
+
+// Algorithm selects the query-processing algorithm.
+type Algorithm int
+
+const (
+	// IterBoundSPTI is the paper's flagship algorithm (Section 5.3):
+	// iteratively bounding over the reverse search space, restricted to an
+	// incrementally grown shortest path tree. It is the best performer
+	// across the paper's evaluation and this library's default.
+	IterBoundSPTI Algorithm = iota
+	// IterBoundSPTP uses the partial shortest path tree of Section 5.2.
+	IterBoundSPTP
+	// IterBound is the plain iteratively bounding approach (Section 5.1).
+	IterBound
+	// BestFirst is the best-first paradigm with exact subspace resolution
+	// (Section 4).
+	BestFirst
+	// DA is the deviation-algorithm baseline (Yen-style, Section 3).
+	DA
+	// DASPT is the state-of-the-art deviation baseline with an online full
+	// shortest path tree (Section 3).
+	DASPT
+)
+
+var algoNames = map[Algorithm]string{
+	IterBoundSPTI: "IterBoundI",
+	IterBoundSPTP: "IterBoundP",
+	IterBound:     "IterBound",
+	BestFirst:     "BestFirst",
+	DA:            "DA",
+	DASPT:         "DA-SPT",
+}
+
+func (a Algorithm) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ErrUnknownAlgorithm reports an Options.Algorithm value outside the enum.
+var ErrUnknownAlgorithm = errors.New("kpj: unknown algorithm")
+
+// Path is one result path: the node sequence from a source to a
+// destination node, and its length. A source that already satisfies the
+// destination category yields a single-node path of length 0.
+type Path struct {
+	Nodes  []NodeID
+	Length Weight
+}
+
+// Stats counts the work a query performed (searches, queue pops, relaxed
+// edges, bounding rounds, SPT sizes).
+type Stats = core.Stats
+
+// Options tunes query processing. The zero value (or a nil pointer) runs
+// the default algorithm without a landmark index.
+type Options struct {
+	// Algorithm selects the processing strategy (default IterBoundSPTI).
+	Algorithm Algorithm
+	// Alpha is the τ growth factor of the iteratively bounding algorithms
+	// (must exceed 1; default 1.1, the paper's recommendation).
+	Alpha float64
+	// Index enables landmark lower bounds (see BuildIndex). Nil runs the
+	// no-landmark variants, which remain correct but explore more.
+	Index *Index
+	// Stats, when non-nil, accumulates work counters.
+	Stats *Stats
+	// Trace, when non-nil, receives a human-readable line per engine step
+	// (subspaces enqueued/bounded/pruned, τ rounds, emitted paths) — an
+	// EXPLAIN-style view of the query.
+	Trace io.Writer
+}
+
+// Index is a prebuilt landmark (ALT) lower-bound index over one Graph. It
+// is immutable and safe for concurrent use, and is valid only for the
+// graph it was built from.
+type Index struct {
+	ix *landmark.Index
+}
+
+// BuildIndex selects `count` landmarks by the farthest-point heuristic
+// (the paper uses 16) and precomputes their distance tables in
+// O(count · (m + n log n)) time and O(count · n) space.
+func BuildIndex(g *Graph, count int, seed int64) (*Index, error) {
+	ix, err := landmark.Build(g.g, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Count returns the number of landmarks.
+func (ix *Index) Count() int { return ix.ix.Count() }
+
+// SizeBytes estimates the index memory footprint.
+func (ix *Index) SizeBytes() int64 { return ix.ix.SizeBytes() }
+
+// WriteTo serializes the index in a compact binary format with a graph
+// fingerprint and integrity checksum, implementing io.WriterTo. Build the
+// index offline once, persist it, and LoadIndex it at query time — the
+// paper's intended deployment (Section 4.2, "constructed offline").
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
+
+// LoadIndex deserializes an index written by WriteTo and binds it to g.
+// It fails if the data is corrupt or was built for a different graph.
+func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
+	ix, err := landmark.Read(r, g.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+func (o *Options) coreOptions(g *Graph) (core.Options, core.Func, error) {
+	var opt core.Options
+	algo := IterBoundSPTI
+	if o != nil {
+		opt.Alpha = o.Alpha
+		opt.Stats = o.Stats
+		if o.Index != nil {
+			opt.Index = o.Index.ix
+		}
+		if o.Trace != nil {
+			opt.Trace = traceWriter(o.Trace, g.NumNodes())
+		}
+		algo = o.Algorithm
+	}
+	var fn core.Func
+	switch algo {
+	case IterBoundSPTI:
+		fn = core.IterBoundSPTI
+	case IterBoundSPTP:
+		fn = core.IterBoundSPTP
+	case IterBound:
+		fn = core.IterBound
+	case BestFirst:
+		fn = core.BestFirst
+	case DA:
+		fn = deviation.DA
+	case DASPT:
+		fn = deviation.DASPT
+	default:
+		return opt, nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, int(algo))
+	}
+	return opt, fn, nil
+}
+
+// TopKJoinSets answers the most general query: the k shortest simple paths
+// from any node of sources to any node of targets. Duplicate ids are
+// ignored. Fewer than k paths are returned when fewer exist.
+func (g *Graph) TopKJoinSets(sources, targets []NodeID, k int, opt *Options) ([]Path, error) {
+	copt, fn, err := opt.coreOptions(g)
+	if err != nil {
+		return nil, err
+	}
+	q := core.Query{Sources: dedupe(sources), Targets: dedupe(targets), K: k}
+	paths, err := fn(g.g, q, copt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Path, len(paths))
+	for i, p := range paths {
+		out[i] = Path{Nodes: p.Nodes, Length: p.Length}
+	}
+	return out, nil
+}
+
+// TopKJoin answers a KPJ query: the k shortest simple paths from source to
+// any node of the named category.
+func (g *Graph) TopKJoin(source NodeID, category string, k int, opt *Options) ([]Path, error) {
+	targets, err := g.Category(category)
+	if err != nil {
+		return nil, err
+	}
+	return g.TopKJoinSets([]NodeID{source}, targets, k, opt)
+}
+
+// TopK answers a classical KSP query: the k shortest simple paths from
+// source to target.
+func (g *Graph) TopK(source, target NodeID, k int, opt *Options) ([]Path, error) {
+	return g.TopKJoinSets([]NodeID{source}, []NodeID{target}, k, opt)
+}
+
+// TopKWalks answers the top-k *general* shortest path problem of the
+// paper's Related Work section: the k shortest walks (node revisits
+// allowed) from any node of sources to any node of targets. Walks are the
+// easier classical problem (Eppstein; Hoffman-Pavley) — with any reachable
+// cycle there are always k of them, and walk i is never longer than simple
+// path i. Options are ignored except for validation; the walk algorithm
+// needs no index or bounding machinery, which is precisely the paper's
+// point of contrast.
+func (g *Graph) TopKWalks(sources, targets []NodeID, k int) ([]Path, error) {
+	walks, err := kwalks.TopK(g.g, dedupe(sources), dedupe(targets), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Path, len(walks))
+	for i, w := range walks {
+		out[i] = Path{Nodes: w.Nodes, Length: w.Length}
+	}
+	return out, nil
+}
+
+// TopKCategoryJoin answers a GKPJ query (Section 6): the k shortest simple
+// paths from any node of sourceCategory to any node of targetCategory.
+func (g *Graph) TopKCategoryJoin(sourceCategory, targetCategory string, k int, opt *Options) ([]Path, error) {
+	sources, err := g.Category(sourceCategory)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := g.Category(targetCategory)
+	if err != nil {
+		return nil, err
+	}
+	return g.TopKJoinSets(sources, targets, k, opt)
+}
+
+func dedupe(nodes []NodeID) []NodeID {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	out := make([]NodeID, len(nodes))
+	copy(out, nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

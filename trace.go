@@ -1,0 +1,103 @@
+package kpj
+
+import (
+	"fmt"
+	"io"
+
+	"kpj/internal/core"
+	"kpj/internal/graph"
+)
+
+// traceWriter renders engine events as human-readable lines — the
+// EXPLAIN-style view of a query: which subspaces were enqueued with what
+// lower bound, each bounded-search round and its threshold τ, and every
+// emitted path. Enable it with Options.Trace.
+func traceWriter(w io.Writer, numNodes int) core.TraceFunc {
+	nodeName := func(v NodeID) string {
+		switch {
+		case int(v) == numNodes:
+			return "t*" // virtual target
+		case int(v) == numNodes+1:
+			return "s*" // virtual source
+		default:
+			return fmt.Sprint(v)
+		}
+	}
+	return func(ev core.Event) {
+		switch ev.Kind {
+		case core.EventEmit:
+			fmt.Fprintf(w, "emit    vertex=%d node=%s length=%d\n", ev.Vertex, nodeName(ev.Node), ev.Length)
+		case core.EventEnqueue:
+			fmt.Fprintf(w, "enqueue vertex=%d node=%s lb=%d\n", ev.Vertex, nodeName(ev.Node), ev.Length)
+		case core.EventResolve:
+			tau := "inf"
+			if ev.Tau < graph.Infinity {
+				tau = fmt.Sprint(ev.Tau)
+			}
+			switch ev.Status {
+			case core.Found:
+				fmt.Fprintf(w, "resolve vertex=%d node=%s tau=%s -> found length=%d\n", ev.Vertex, nodeName(ev.Node), tau, ev.Length)
+			case core.Exceeded:
+				fmt.Fprintf(w, "resolve vertex=%d node=%s tau=%s -> exceeded\n", ev.Vertex, nodeName(ev.Node), tau)
+			default:
+				fmt.Fprintf(w, "resolve vertex=%d node=%s tau=%s -> empty\n", ev.Vertex, nodeName(ev.Node), tau)
+			}
+		case core.EventDrop:
+			fmt.Fprintf(w, "drop    vertex=%d node=%s (provably empty)\n", ev.Vertex, nodeName(ev.Node))
+		}
+	}
+}
+
+// ValidatePaths checks a query result against the graph: every path must
+// be a simple path whose hops are graph edges, start in sources, end in
+// targets, carry a consistent Length, and the sequence must be sorted by
+// length. It returns nil for a valid result. Use it in tests or to audit
+// results from an untrusted store.
+func ValidatePaths(g *Graph, sources, targets []NodeID, paths []Path) error {
+	isSource := make(map[NodeID]bool, len(sources))
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	isTarget := make(map[NodeID]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t] = true
+	}
+	var prev Weight = -1
+	for i, p := range paths {
+		if len(p.Nodes) == 0 {
+			return fmt.Errorf("kpj: path %d is empty", i)
+		}
+		if !isSource[p.Nodes[0]] {
+			return fmt.Errorf("kpj: path %d starts at %d, not a source", i, p.Nodes[0])
+		}
+		if last := p.Nodes[len(p.Nodes)-1]; !isTarget[last] {
+			return fmt.Errorf("kpj: path %d ends at %d, not a target", i, last)
+		}
+		seen := make(map[NodeID]bool, len(p.Nodes))
+		var length Weight
+		for j, v := range p.Nodes {
+			if v < 0 || int(v) >= g.NumNodes() {
+				return fmt.Errorf("kpj: path %d node %d out of range", i, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("kpj: path %d revisits node %d", i, v)
+			}
+			seen[v] = true
+			if j > 0 {
+				w, ok := g.g.HasEdge(p.Nodes[j-1], v)
+				if !ok {
+					return fmt.Errorf("kpj: path %d hop (%d,%d) is not an edge", i, p.Nodes[j-1], v)
+				}
+				length += w
+			}
+		}
+		if length != p.Length {
+			return fmt.Errorf("kpj: path %d declares length %d, edges sum to %d", i, p.Length, length)
+		}
+		if p.Length < prev {
+			return fmt.Errorf("kpj: path %d length %d below predecessor %d", i, p.Length, prev)
+		}
+		prev = p.Length
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package kpj
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,7 +18,9 @@ type BatchQuery struct {
 	K       int
 }
 
-// BatchResult carries the outcome for the query at the same index.
+// BatchResult carries the outcome for the query at the same index. An
+// interrupted query (context or budget) has both fields set: Paths holds
+// the partial results and Err is the *TruncatedError describing why.
 type BatchResult struct {
 	Paths []Path
 	Err   error
@@ -29,15 +33,51 @@ type BatchResult struct {
 // input by index. When opt.Stats is set, the workers' counters are merged
 // into it after all queries finish.
 func (g *Graph) Batch(queries []BatchQuery, parallelism int, opt *Options) []BatchResult {
+	return g.BatchContext(nil, queries, parallelism, opt)
+}
+
+// BatchContext is Batch bound to ctx (which, when non-nil, overrides
+// opt.Context). The context applies per query — every in-flight query
+// stops within a few hundred heap pops of cancellation with partial
+// results — and to scheduling: once the context is done, queries not yet
+// started are not run at all and report an ErrCanceled-wrapping error. A
+// context that is already done returns immediately without launching
+// workers. Options.Budget, in contrast, is a fresh per-query allowance.
+func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallelism int, opt *Options) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return results
 	}
 	copt, fn, err := opt.coreOptions(g)
-	copt.Trace = nil // tracing interleaves across workers; unsupported in batches
 	if err != nil {
 		for i := range results {
 			results[i].Err = err
+		}
+		return results
+	}
+	copt.Trace = nil // tracing interleaves across workers; unsupported in batches
+	if ctx != nil {
+		copt.Context = ctx
+	}
+	skipErr := func() error {
+		return fmt.Errorf("%w: batch item not started: %v",
+			ErrCanceled, context.Cause(copt.Context))
+	}
+	done := func() bool {
+		if copt.Context == nil {
+			return false
+		}
+		select {
+		case <-copt.Context.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	if done() {
+		// Already canceled: report every item without launching workers.
+		for i := range results {
+			results[i].Err = skipErr()
 		}
 		return results
 	}
@@ -69,18 +109,15 @@ func (g *Graph) Batch(queries []BatchQuery, parallelism int, opt *Options) []Bat
 				if i >= len(queries) {
 					break
 				}
-				bq := queries[i]
-				q := core.Query{Sources: dedupe(bq.Sources), Targets: dedupe(bq.Targets), K: bq.K}
-				paths, err := fn(g.g, q, workerOpt)
-				if err != nil {
-					results[i].Err = err
+				if done() {
+					// Stop scheduling: mark remaining items canceled
+					// without paying for their searches.
+					results[i].Err = skipErr()
 					continue
 				}
-				out := make([]Path, len(paths))
-				for j, p := range paths {
-					out[j] = Path{Nodes: p.Nodes, Length: p.Length}
-				}
-				results[i].Paths = out
+				bq := queries[i]
+				q := core.Query{Sources: dedupe(bq.Sources), Targets: dedupe(bq.Targets), K: bq.K}
+				results[i].Paths, results[i].Err = finishQuery(fn(g.g, q, workerOpt))
 			}
 			if copt.Stats != nil {
 				mu.Lock()

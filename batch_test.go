@@ -1,9 +1,12 @@
 package kpj_test
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"kpj"
 )
@@ -123,5 +126,92 @@ func TestConcurrentQueriesSharedGraph(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestBatchContextPreCanceled(t *testing.T) {
+	g, ix, queries := batchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := g.BatchContext(ctx, queries, 4, &kpj.Options{Index: ix})
+	if len(res) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(res), len(queries))
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, kpj.ErrCanceled) {
+			t.Fatalf("item %d: err = %v, want ErrCanceled (no worker should have run)", i, r.Err)
+		}
+		if len(r.Paths) != 0 {
+			t.Fatalf("item %d: unstarted query has %d paths", i, len(r.Paths))
+		}
+	}
+}
+
+func TestBatchContextMidCancel(t *testing.T) {
+	g, ix, queries := batchFixture(t)
+	// Inflate the work per query so cancellation lands mid-batch.
+	big := make([]kpj.BatchQuery, 0, len(queries)*4)
+	for i := 0; i < 4; i++ {
+		for _, q := range queries {
+			q.K = 200
+			big = append(big, q)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := g.BatchContext(ctx, big, 4, &kpj.Options{Index: ix})
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("canceled batch took %v", elapsed)
+	}
+	var done, truncated, skipped int
+	for i, r := range res {
+		switch {
+		case r.Err == nil:
+			done++
+		case errors.Is(r.Err, kpj.ErrCanceled):
+			if _, ok := kpj.Truncated(r.Err); ok {
+				truncated++
+			} else {
+				skipped++
+			}
+		default:
+			t.Fatalf("item %d: unexpected error %v", i, r.Err)
+		}
+	}
+	t.Logf("batch after cancel: %d done, %d truncated, %d skipped", done, truncated, skipped)
+	if done == len(res) {
+		t.Skip("batch finished before cancellation; nothing to assert")
+	}
+}
+
+// TestBatchTruncatedItemsCarryPartialResults: per-item budgets degrade
+// items independently instead of failing the batch.
+func TestBatchTruncatedItemsCarryPartialResults(t *testing.T) {
+	g, ix, queries := batchFixture(t)
+	res := g.BatchContext(nil, queries, 3, &kpj.Options{Index: ix, Budget: 2000})
+	var truncated int
+	for i, r := range res {
+		if r.Err == nil {
+			continue
+		}
+		if !errors.Is(r.Err, kpj.ErrBudgetExceeded) {
+			t.Fatalf("item %d: err = %v, want ErrBudgetExceeded", i, r.Err)
+		}
+		partial, ok := kpj.Truncated(r.Err)
+		if !ok {
+			t.Fatalf("item %d: budget error is not a TruncatedError: %v", i, r.Err)
+		}
+		if len(partial) != len(r.Paths) {
+			t.Fatalf("item %d: error carries %d paths, result %d", i, len(partial), len(r.Paths))
+		}
+		truncated++
+	}
+	if truncated == 0 {
+		t.Skip("budget generous enough for every item; nothing truncated")
 	}
 }

@@ -3,21 +3,29 @@
 //
 // Usage:
 //
-//	kpjserver -graph sj.gr -pois sj.pois -index sj.idx -addr :8080
+//	kpjserver -graph sj.gr -pois sj.pois -index sj.idx -addr :8080 \
+//	          -timeout 2s -budget 5000000 -maxinflight 64
 //
 // Endpoints (see internal/server):
 //
 //	GET  /healthz
 //	GET  /categories
-//	GET  /query?source=42&category=T2&k=5[&alg=IterBoundI][&alpha=1.1][&stats=1]
+//	GET  /query?source=42&category=T2&k=5[&alg=IterBoundI][&alpha=1.1][&budget=100000][&stats=1]
 //	POST /batch   with a JSON array of {sources|sourceCategory, targets|category, k}
+//
+// Queries that exceed -timeout or -budget return the paths found so far
+// with "truncated": true; requests beyond -maxinflight are shed with 503.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kpj"
@@ -32,15 +40,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "landmark selection seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxK := flag.Int("maxk", 1000, "per-request k limit")
+	timeout := flag.Duration("timeout", 0, "per-request deadline for /query and /batch (0 = none)")
+	budget := flag.Int64("budget", 0, "per-query work cap in heap pops + edge relaxations (0 = unlimited)")
+	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries before shedding with 503 (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	flag.Parse()
 
-	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK); err != nil {
+	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
+		*timeout, *budget, *maxInFlight, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int) error {
+func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
+	timeout time.Duration, budget int64, maxInFlight int, drain time.Duration) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -85,11 +99,35 @@ func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr 
 	}
 
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(g, ix, server.WithMaxK(maxK)),
+		Addr: addr,
+		Handler: server.New(g, ix,
+			server.WithMaxK(maxK),
+			server.WithTimeout(timeout),
+			server.WithBudget(budget),
+			server.WithMaxInFlight(maxInFlight)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving %d nodes / %d edges (categories %v) on %s\n",
 		g.NumNodes(), g.NumEdges(), g.Categories(), addr)
-	return srv.ListenAndServe()
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting connections and
+	// drain in-flight requests (whose query contexts end when the drain
+	// window closes and the connections are forcibly dropped).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills immediately
+		fmt.Printf("shutting down (draining up to %v)...\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
 }

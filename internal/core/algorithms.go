@@ -53,10 +53,11 @@ func BestFirst(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
 		searchH: h, lbH: h,
 		alpha:   0, // exact resolution
+		bound:   opt.bound,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
 	}
-	return e.run(), nil
+	return e.run()
 }
 
 // IterBound processes a query with the iteratively bounding approach
@@ -74,10 +75,11 @@ func IterBound(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
 		searchH: h, lbH: h,
 		alpha:   opt.Alpha,
+		bound:   opt.bound,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
 	}
-	return e.run(), nil
+	return e.run()
 }
 
 // IterBoundSPTP is IterBound with the partial shortest path tree of
@@ -91,9 +93,9 @@ func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	}
 	sp := NewForwardSpace(g, q.Sources, q.Targets)
 	rev := NewReverseSpace(g, q.Sources, q.Targets)
-	dt, settled, init, ok := buildPartialSPT(rev, reverseHeuristic(rev, q, &opt), opt.Stats)
+	dt, settled, init, ok := buildPartialSPT(rev, reverseHeuristic(rev, q, &opt), opt.Stats, opt.bound)
 	if !ok {
-		return nil, nil
+		return nil, opt.bound.Err()
 	}
 	h := TreeHeuristic{Dist: dt, Settled: settled, Fallback: forwardHeuristic(sp, q, &opt)}
 	e := &engine{
@@ -101,10 +103,11 @@ func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		searchH: h, lbH: h,
 		alpha:   opt.Alpha,
 		initial: func() (SearchResult, bool) { return init, true },
+		bound:   opt.bound,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
 	}
-	return e.run(), nil
+	return e.run()
 }
 
 // IterBoundSPTI is the paper's flagship algorithm (Section 5.3): the
@@ -119,10 +122,10 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	}
 	fwd := NewForwardSpace(g, q.Sources, q.Targets)
 	rev := NewReverseSpace(g, q.Sources, q.Targets)
-	tree := newSPTI(fwd, forwardHeuristic(fwd, q, &opt), opt.Stats)
+	tree := newSPTI(fwd, forwardHeuristic(fwd, q, &opt), opt.Stats, opt.bound)
 	init, ok := tree.initialPath()
 	if !ok {
-		return nil, nil
+		return nil, opt.bound.Err()
 	}
 	h := sptiHeuristic{t: tree, fallback: reverseHeuristic(rev, q, &opt)}
 	e := &engine{
@@ -134,10 +137,11 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		alpha:         opt.Alpha,
 		beforeResolve: func(tau graph.Weight) { tree.growTo(tau) },
 		initial:       func() (SearchResult, bool) { return init, true },
+		bound:         opt.bound,
 		stats:         opt.Stats,
 		onEvent:       opt.Trace,
 	}
-	return e.run(), nil
+	return e.run()
 }
 
 // Func is the common algorithm signature, used by the experiment drivers

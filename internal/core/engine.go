@@ -56,6 +56,10 @@ type engine struct {
 	// what Alg. 2 does.
 	initial func() (SearchResult, bool)
 
+	// bound carries the query's cancellation/budget state; nil runs
+	// unbounded. It is the same Bound installed in ws by Prepare.
+	bound *Bound
+
 	stats   *Stats
 	onEvent TraceFunc
 	seq     uint64
@@ -83,8 +87,10 @@ func (e *engine) nextTau(lb graph.Weight, top graph.Weight, haveTop bool) graph.
 }
 
 // run executes the main loop and returns up to k paths in non-decreasing
-// length order.
-func (e *engine) run() []Path {
+// length order. When the query's Bound trips mid-run, it returns the
+// paths emitted so far (a prefix of the unbounded result, since the bound
+// never alters search order) together with the bound's error.
+func (e *engine) run() ([]Path, error) {
 	q := pqueue.NewHeap[entry](lessEntry)
 	push := func(v VertexID, key graph.Weight, res *SearchResult) {
 		e.seq++
@@ -102,13 +108,16 @@ func (e *engine) run() []Path {
 		ok = status == Found
 	}
 	if !ok {
-		return nil
+		return nil, e.bound.Err()
 	}
 	push(0, first.Total, &first)
 	e.trace(Event{Kind: EventEnqueue, Vertex: 0, Node: e.pt.Node(0), Length: first.Total})
 
 	var out []Path
 	for len(out) < e.k && q.Len() > 0 {
+		if err := e.bound.Step(); err != nil {
+			return out, err
+		}
 		ent := q.Pop()
 		if ent.res == nil {
 			// Unresolved: tighten (IterBound) or solve exactly (BestFirst).
@@ -132,6 +141,10 @@ func (e *engine) run() []Path {
 				push(ent.vertex, tau, nil)
 			case Empty:
 				// drop: the subspace holds no path
+			case Aborted:
+				e.trace(Event{Kind: EventResolve, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex),
+					Tau: tau, Status: status})
+				return out, e.bound.Err()
 			}
 			e.trace(Event{Kind: EventResolve, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex),
 				Length: res.Total, Tau: tau, Status: status})
@@ -174,5 +187,12 @@ func (e *engine) run() []Path {
 			enqueue(v)
 		}
 	}
-	return out
+	// A bound that tripped inside a helper (SPT growth, CompLB) without an
+	// Aborted search still truncates the result.
+	if len(out) < e.k {
+		if err := e.bound.Err(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }

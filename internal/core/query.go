@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,6 +38,19 @@ type Options struct {
 	// EXPLAIN-style view of which subspaces were divided, bounded, and
 	// pruned.
 	Trace TraceFunc
+	// Context, when non-nil, makes the query cancelable: cancellation (or
+	// a deadline) stops all search loops within a few hundred heap pops
+	// and the query returns the paths found so far with an error wrapping
+	// ErrCanceled.
+	Context context.Context
+	// Budget, when positive, caps the query's total work, measured in
+	// heap pops plus successful edge relaxations (the units Stats tracks
+	// as NodesPopped and EdgesRelaxed). Exceeding it stops the query with
+	// the paths found so far and an error wrapping ErrBudgetExceeded.
+	Budget int64
+
+	// bound is materialized by Prepare from Context and Budget.
+	bound *Bound
 }
 
 // DefaultAlpha is the paper's default τ growth factor.
@@ -94,5 +108,7 @@ func Prepare(g *graph.Graph, q Query, opt *Options, needAlpha bool) (*Workspace,
 	} else if !opt.Workspace.Fits(n) {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrWorkspace, opt.Workspace.n, n)
 	}
+	opt.bound = NewBound(opt.Context, opt.Budget)
+	opt.Workspace.bound = opt.bound
 	return opt.Workspace, nil
 }

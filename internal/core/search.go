@@ -14,6 +14,10 @@ const (
 	Exceeded
 	// Empty: the subspace provably contains no path at all.
 	Empty
+	// Aborted: the query's Bound tripped (context canceled or budget
+	// exhausted) mid-search. The subspace's status is unknown; the caller
+	// must stop and report Workspace.Bound().Err().
+	Aborted
 )
 
 func (s SearchStatus) String() string {
@@ -22,6 +26,8 @@ func (s SearchStatus) String() string {
 		return "found"
 	case Exceeded:
 		return "exceeded"
+	case Aborted:
+		return "aborted"
 	default:
 		return "empty"
 	}
@@ -99,6 +105,7 @@ func (ws *Workspace) SubspaceSearch(sp *Space, pt *PseudoTree, u VertexID, h Heu
 		}
 		ws.setDist(to, nd, from)
 		ws.q.PushOrDecrease(int32(to), nd+hv)
+		ws.bound.Work(1)
 		if st != nil {
 			st.EdgesRelaxed++
 		}
@@ -117,6 +124,9 @@ func (ws *Workspace) SubspaceSearch(sp *Space, pt *PseudoTree, u VertexID, h Heu
 	})
 
 	for ws.q.Len() > 0 {
+		if ws.bound.Step() != nil {
+			return SearchResult{}, Aborted
+		}
 		vi, _ := ws.q.Pop()
 		v := graph.NodeID(vi)
 		if st != nil {

@@ -29,7 +29,7 @@ func TestPartialSPTExactDistances(t *testing.T) {
 			}
 			revH = SourceHeuristic{Space: rev, Index: ix, Source: src}
 		}
-		dt, settled, init, ok := buildPartialSPT(rev, revH, nil)
+		dt, settled, init, ok := buildPartialSPT(rev, revH, nil, nil)
 		if !ok {
 			t.Fatalf("trial %d: no path in connected graph", trial)
 		}
@@ -72,7 +72,7 @@ func TestIncrementalSPTCoverage(t *testing.T) {
 			}
 			growH = CategoryHeuristic{Space: fwd, Bounds: ix.BoundsToSet(targets)}
 		}
-		tree := newSPTI(fwd, growH, nil)
+		tree := newSPTI(fwd, growH, nil, nil)
 		init, ok := tree.initialPath()
 		if !ok {
 			t.Fatalf("trial %d: no initial path", trial)
@@ -137,7 +137,7 @@ func TestSPTIHeuristicAdmissible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree := newSPTI(fwd, CategoryHeuristic{Space: fwd, Bounds: ix.BoundsToSet(targets)}, nil)
+	tree := newSPTI(fwd, CategoryHeuristic{Space: fwd, Bounds: ix.BoundsToSet(targets)}, nil, nil)
 	if _, ok := tree.initialPath(); !ok {
 		t.Fatal("no initial path")
 	}

@@ -21,9 +21,10 @@ type sptiTree struct {
 	settled []bool
 	q       *pqueue.NodeQueue
 	st      *Stats
+	bound   *Bound
 }
 
-func newSPTI(fwd *Space, h Heuristic, st *Stats) *sptiTree {
+func newSPTI(fwd *Space, h Heuristic, st *Stats, bound *Bound) *sptiTree {
 	n := fwd.NumSpaceNodes()
 	t := &sptiTree{
 		fwd:     fwd,
@@ -33,6 +34,7 @@ func newSPTI(fwd *Space, h Heuristic, st *Stats) *sptiTree {
 		settled: make([]bool, n),
 		q:       pqueue.NewNodeQueue(n),
 		st:      st,
+		bound:   bound,
 	}
 	for i := range t.ds {
 		t.ds[i] = graph.Infinity
@@ -44,9 +46,13 @@ func newSPTI(fwd *Space, h Heuristic, st *Stats) *sptiTree {
 }
 
 // settleOne pops and settles the next node, returning it (or -1 when the
-// frontier is exhausted).
+// frontier is exhausted or the query bound tripped — the two are told
+// apart by exhausted()/the bound's sticky error).
 func (t *sptiTree) settleOne() graph.NodeID {
 	for t.q.Len() > 0 {
+		if t.bound.Step() != nil {
+			return -1
+		}
 		vi, _ := t.q.Pop()
 		v := graph.NodeID(vi)
 		if t.settled[v] {
@@ -104,7 +110,9 @@ func (t *sptiTree) initialPath() (SearchResult, bool) {
 // (keys are monotone because the growth heuristic is consistent).
 func (t *sptiTree) growTo(tau graph.Weight) {
 	for t.q.Len() > 0 && t.q.TopKey() <= tau {
-		t.settleOne()
+		if t.settleOne() < 0 {
+			return // bound tripped: stop growing, the engine will abort
+		}
 	}
 }
 

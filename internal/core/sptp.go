@@ -16,7 +16,7 @@ import (
 // source side). It returns the SPT arrays and the initial path translated
 // into the FORWARD space (suffix after the forward root, cumulative
 // lengths, total), or ok=false when no path exists.
-func buildPartialSPT(rev *Space, revH Heuristic, st *Stats) (dt []graph.Weight, settled []bool, init SearchResult, ok bool) {
+func buildPartialSPT(rev *Space, revH Heuristic, st *Stats, bound *Bound) (dt []graph.Weight, settled []bool, init SearchResult, ok bool) {
 	n := rev.NumSpaceNodes()
 	dt = make([]graph.Weight, n)
 	settled = make([]bool, n)
@@ -30,6 +30,9 @@ func buildPartialSPT(rev *Space, revH Heuristic, st *Stats) (dt []graph.Weight, 
 	dt[root] = 0
 	q.PushOrDecrease(int32(root), hOrZero(revH, root))
 	for q.Len() > 0 {
+		if bound.Step() != nil {
+			break // abort: the goal stays unsettled, reported via ok=false
+		}
 		vi, _ := q.Pop()
 		v := graph.NodeID(vi)
 		if settled[v] {

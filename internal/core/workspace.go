@@ -52,6 +52,10 @@ type Workspace struct {
 	banEpoch uint32
 
 	q *pqueue.NodeQueue
+
+	// bound is the current query's interruption state, installed by
+	// Prepare (nil for unbounded queries and direct test use).
+	bound *Bound
 }
 
 // NewWorkspace returns a Workspace for space-node ids in [0, n).
@@ -74,6 +78,11 @@ func NewWorkspace(n int) *Workspace {
 
 // Fits reports whether the workspace covers space-node ids in [0, n).
 func (ws *Workspace) Fits(n int) bool { return ws.n >= n }
+
+// Bound returns the interruption bound installed by Prepare — nil when
+// the current query is unbounded. The deviation baselines use it to share
+// the engine's cancellation discipline.
+func (ws *Workspace) Bound() *Bound { return ws.bound }
 
 func bumpEpoch(epoch *uint32, stamps []uint32) {
 	*epoch++

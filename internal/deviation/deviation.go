@@ -35,8 +35,9 @@ func lessCandidate(a, b candidate) bool {
 // run is the deviation main loop shared by DA and DA-SPT: resolve is
 // invoked once per subspace, immediately at creation, and must return the
 // subspace's shortest path (or ok=false when the subspace is empty).
-// trace, when non-nil, observes each step.
-func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID) (core.SearchResult, bool), trace core.TraceFunc) []core.Path {
+// trace, when non-nil, observes each step. When bound trips mid-run the
+// loop stops and returns the paths emitted so far with the bound's error.
+func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID) (core.SearchResult, bool), trace core.TraceFunc, bound *core.Bound) ([]core.Path, error) {
 	cand := pqueue.NewHeap[candidate](lessCandidate)
 	var seq uint64
 	push := func(v core.VertexID) {
@@ -57,6 +58,9 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID)
 	push(0)
 	var out []core.Path
 	for len(out) < k && cand.Len() > 0 {
+		if err := bound.Step(); err != nil {
+			return out, err
+		}
 		top := cand.Pop()
 		full := append(pt.PrefixPath(top.vertex), top.res.Suffix...)
 		out = append(out, sp.Materialize(full, top.res.Total))
@@ -74,7 +78,14 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID)
 			}
 		}
 	}
-	return out
+	// A bound that tripped inside resolve (dropping candidates) still
+	// truncates the result.
+	if len(out) < k {
+		if err := bound.Err(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // DA processes a query with the plain deviation algorithm (paper Alg. 1,
@@ -92,7 +103,7 @@ func DA(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) {
 		res, status := ws.SubspaceSearch(sp, pt, v, core.ZeroHeuristic{}, graph.Infinity, nil, opt.Stats)
 		return res, status == core.Found
 	}
-	return run(sp, pt, q.K, resolve, opt.Trace), nil
+	return run(sp, pt, q.K, resolve, opt.Trace, ws.Bound())
 }
 
 // DASPT processes a query with the DA-SPT baseline ([15], Section 3):
@@ -108,7 +119,7 @@ func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) 
 	}
 	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
 	rev := core.NewReverseSpace(g, q.Sources, q.Targets)
-	spt := buildFullSPT(rev, opt.Stats)
+	spt := buildFullSPT(rev, opt.Stats, ws.Bound())
 	pt := core.NewPseudoTree(sp.Root)
 	h := core.TreeHeuristic{Dist: spt.dt, Settled: spt.settled, Fallback: core.ZeroHeuristic{}}
 	resolve := func(v core.VertexID) (core.SearchResult, bool) {
@@ -121,7 +132,7 @@ func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) 
 		res, status := ws.SubspaceSearch(sp, pt, v, h, graph.Infinity, nil, opt.Stats)
 		return res, status == core.Found
 	}
-	return run(sp, pt, q.K, resolve, opt.Trace), nil
+	return run(sp, pt, q.K, resolve, opt.Trace, ws.Bound())
 }
 
 // Algorithms returns the two baselines under their paper names.

@@ -19,8 +19,10 @@ type fullSPT struct {
 // buildFullSPT runs a complete Dijkstra over the reverse space from the
 // virtual target. Unlike the partial/incremental trees of Section 5, it
 // does not stop early — this is exactly the "dominating cost of
-// constructing the full SPT" the paper attributes to DA-SPT.
-func buildFullSPT(rev *core.Space, st *core.Stats) *fullSPT {
+// constructing the full SPT" the paper attributes to DA-SPT. When bound
+// trips the build stops; the caller's main loop sees the sticky error
+// before any path is emitted, so the incomplete tree is never trusted.
+func buildFullSPT(rev *core.Space, st *core.Stats, bound *core.Bound) *fullSPT {
 	n := rev.NumSpaceNodes()
 	t := &fullSPT{
 		rev:     rev,
@@ -36,6 +38,9 @@ func buildFullSPT(rev *core.Space, st *core.Stats) *fullSPT {
 	t.dt[rev.Root] = 0
 	q.PushOrDecrease(int32(rev.Root), 0)
 	for q.Len() > 0 {
+		if bound.Step() != nil {
+			break
+		}
 		vi, d := q.Pop()
 		v := graph.NodeID(vi)
 		if t.settled[v] {

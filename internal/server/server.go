@@ -12,13 +12,18 @@
 //
 // /query parameters: source (node id) or sourceCategory, plus category
 // (destination) or target (node id); optional k (default 10), alg
-// (IterBoundI, IterBoundP, IterBound, BestFirst, DA, DA-SPT), alpha.
+// (IterBoundI, IterBoundP, IterBound, BestFirst, DA, DA-SPT), alpha,
+// budget (per-query work cap; over-budget queries return truncated
+// partial results).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -27,6 +32,14 @@ import (
 
 // Server is the http.Handler. Queries run against one immutable graph and
 // optional landmark index; it is safe for concurrent use.
+//
+// Robustness: every request handler runs behind panic recovery (an engine
+// panic becomes a logged 500, not a dead process), query endpoints honor
+// the request context (a client disconnect cancels the engine within a
+// few hundred heap pops), and optional per-request timeouts, work budgets
+// and an in-flight limiter bound worst-case resource use. Queries cut
+// short by a deadline or budget still return the paths found so far,
+// marked "truncated": true.
 type Server struct {
 	g   *kpj.Graph
 	ix  *kpj.Index
@@ -34,6 +47,16 @@ type Server struct {
 	// maxK bounds per-request k to keep one request from monopolizing
 	// the process.
 	maxK int
+	// timeout is the per-request deadline for /query and /batch (0 =
+	// none). Requests that exceed it return truncated partial results.
+	timeout time.Duration
+	// budget caps per-query engine work (0 = unlimited).
+	budget int64
+	// inflight, when non-nil, is the load-shedding semaphore for /query
+	// and /batch: requests beyond its capacity get 503 + Retry-After.
+	inflight chan struct{}
+	// logf receives panic reports; defaults to log.Printf.
+	logf func(format string, args ...any)
 }
 
 // Option configures a Server.
@@ -44,21 +67,93 @@ func WithMaxK(k int) Option {
 	return func(s *Server) { s.maxK = k }
 }
 
+// WithTimeout sets a per-request deadline for /query and /batch. A query
+// that hits it returns its partial results with "truncated": true rather
+// than an error (d <= 0 disables the deadline).
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithBudget caps the engine work (heap pops + edge relaxations) of each
+// query, bounding worst-case latency independently of graph size or k.
+// Over-budget queries return truncated partial results (n <= 0 disables).
+func WithBudget(n int64) Option {
+	return func(s *Server) { s.budget = n }
+}
+
+// WithMaxInFlight bounds the number of concurrently executing /query and
+// /batch requests; excess requests are shed with 503 + Retry-After
+// instead of queueing without bound (n <= 0 means unlimited).
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.inflight = make(chan struct{}, n)
+		} else {
+			s.inflight = nil
+		}
+	}
+}
+
+// WithLogf redirects the server's panic/error log (default log.Printf).
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
 // New builds a Server over g with an optional landmark index.
 func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
-	s := &Server{g: g, ix: ix, mux: http.NewServeMux(), maxK: 1000}
+	s := &Server{g: g, ix: ix, mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
 	for _, o := range opts {
 		o(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /query", s.limited(s.handleQuery))
+	s.mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Panics anywhere below become logged
+// 500s so one poisoned request cannot take the process down.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote a header this is
+			// a no-op on the status line.
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// limited wraps a query handler with the in-flight semaphore: when the
+// server is saturated the request is shed immediately with 503 and a
+// Retry-After hint instead of piling onto the queue.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "too many in-flight queries")
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// queryContext derives the execution context for one request: the request
+// context (so client disconnects cancel the engine) plus the configured
+// per-request timeout.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
 
 // PathJSON is one result path on the wire.
 type PathJSON struct {
@@ -70,7 +165,13 @@ type PathJSON struct {
 type QueryResponse struct {
 	Paths  []PathJSON `json:"paths"`
 	Micros int64      `json:"micros"`
-	Stats  *kpj.Stats `json:"stats,omitempty"`
+	// TimeoutMicros echoes the per-request deadline that applied (0 =
+	// none), so callers can tell how much time the query was allowed.
+	TimeoutMicros int64 `json:"timeoutMicros,omitempty"`
+	// Truncated marks degraded results: the query hit its deadline or
+	// work budget and Paths holds only the prefix found in time.
+	Truncated bool       `json:"truncated,omitempty"`
+	Stats     *kpj.Stats `json:"stats,omitempty"`
 }
 
 type errorResponse struct {
@@ -193,6 +294,13 @@ func (s *Server) parseQuery(get func(string) string, withStats bool) (queryParam
 		}
 		p.opt.Alpha = alpha
 	}
+	if bs := get("budget"); bs != "" {
+		budget, err := strconv.ParseInt(bs, 10, 64)
+		if err != nil || budget <= 0 {
+			return p, fmt.Errorf("bad budget %q (must be positive)", bs)
+		}
+		p.opt.Budget = budget
+	}
 	if withStats {
 		p.opt.Stats = &kpj.Stats{}
 	}
@@ -207,16 +315,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	p.opt.Context = ctx
+	if s.budget > 0 && p.opt.Budget == 0 {
+		p.opt.Budget = s.budget
+	}
 	start := time.Now()
 	paths, err := s.g.TopKJoinSets(p.sources, p.targets, p.k, p.opt)
+	truncated := false
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+		if partial, ok := kpj.Truncated(err); ok {
+			paths, truncated = partial, true
+		} else if kpj.IsInvalidQuery(err) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 	}
 	resp := QueryResponse{
-		Paths:  make([]PathJSON, len(paths)),
-		Micros: time.Since(start).Microseconds(),
-		Stats:  p.opt.Stats,
+		Paths:         make([]PathJSON, len(paths)),
+		Micros:        time.Since(start).Microseconds(),
+		TimeoutMicros: s.timeout.Microseconds(),
+		Truncated:     truncated,
+		Stats:         p.opt.Stats,
 	}
 	for i, path := range paths {
 		resp.Paths[i] = PathJSON{Nodes: path.Nodes, Length: path.Length}
@@ -234,10 +358,13 @@ type BatchRequestItem struct {
 	K              int    `json:"k"`
 }
 
-// BatchResponseItem is the result at the same index.
+// BatchResponseItem is the result at the same index. A truncated item
+// (deadline or budget hit mid-query) carries the partial paths with
+// Truncated set instead of an error.
 type BatchResponseItem struct {
-	Paths []PathJSON `json:"paths,omitempty"`
-	Error string     `json:"error,omitempty"`
+	Paths     []PathJSON `json:"paths,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Error     string     `json:"error,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -276,20 +403,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
-	results := s.g.Batch(queries, 0, &kpj.Options{Index: s.ix})
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	results := s.g.BatchContext(ctx, queries, 0, &kpj.Options{Index: s.ix, Budget: s.budget})
 	out := make([]BatchResponseItem, len(items))
 	for i := range items {
 		switch {
 		case resolveErr[i] != nil:
 			out[i].Error = resolveErr[i].Error()
 		case results[i].Err != nil:
-			out[i].Error = results[i].Err.Error()
-		default:
-			out[i].Paths = make([]PathJSON, len(results[i].Paths))
-			for j, p := range results[i].Paths {
-				out[i].Paths[j] = PathJSON{Nodes: p.Nodes, Length: p.Length}
+			if _, ok := kpj.Truncated(results[i].Err); ok {
+				out[i].Truncated = true
+				out[i].Paths = pathsJSON(results[i].Paths)
+			} else {
+				out[i].Error = results[i].Err.Error()
 			}
+		default:
+			out[i].Paths = pathsJSON(results[i].Paths)
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func pathsJSON(paths []kpj.Path) []PathJSON {
+	out := make([]PathJSON, len(paths))
+	for i, p := range paths {
+		out[i] = PathJSON{Nodes: p.Nodes, Length: p.Length}
+	}
+	return out
 }

@@ -166,10 +166,11 @@ func TestQueryErrorsHTTP(t *testing.T) {
 			t.Fatalf("%s: error body %q", url, body)
 		}
 	}
-	// Out-of-range source id parses but fails the query itself.
+	// Out-of-range source id parses but fails query validation — still a
+	// client error (mapped via errors.Is), not a 500.
 	rec, _ := get(t, s, "/query?source=9999&category=hotel")
-	if rec.Code != http.StatusInternalServerError {
-		t.Fatalf("out-of-range source: status %d", rec.Code)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range source: status %d, want 400", rec.Code)
 	}
 }
 

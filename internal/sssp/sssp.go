@@ -6,11 +6,34 @@
 package sssp
 
 import (
+	"context"
 	"fmt"
 
 	"kpj/internal/graph"
 	"kpj/internal/pqueue"
 )
+
+// pollEvery is the number of heap pops between context polls in the
+// context-aware variants, keeping the hot loops branch-cheap.
+const pollEvery = 256
+
+// canceled polls ctx every pollEvery calls (countdown provided by the
+// caller) and returns a wrapped context error when it is done.
+func canceled(ctx context.Context, countdown *int) error {
+	if ctx == nil {
+		return nil
+	}
+	if *countdown--; *countdown > 0 {
+		return nil
+	}
+	*countdown = pollEvery
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("sssp: canceled: %w", context.Cause(ctx))
+	default:
+		return nil
+	}
+}
 
 // Tree is a shortest-path tree (more precisely, forest) produced by
 // Dijkstra. For a Forward tree rooted at sources S, Dist[v] is the shortest
@@ -56,10 +79,27 @@ func Dijkstra(g *graph.Graph, dir graph.Direction, sources ...graph.NodeID) *Tre
 	return DijkstraOffsets(g, dir, sources, offsets)
 }
 
+// DijkstraContext is Dijkstra with cooperative cancellation: when ctx is
+// canceled (or its deadline passes) the search stops within a few hundred
+// heap pops and returns the partial tree built so far together with a
+// wrapped context error. Distances already settled in a partial tree are
+// exact; unsettled nodes report graph.Infinity.
+func DijkstraContext(ctx context.Context, g *graph.Graph, dir graph.Direction, sources ...graph.NodeID) (*Tree, error) {
+	offsets := make([]graph.Weight, len(sources))
+	return DijkstraOffsetsContext(ctx, g, dir, sources, offsets)
+}
+
 // DijkstraOffsets is Dijkstra with a per-source initial distance, which
 // models the zero/ω-weight virtual-node reductions of the paper (Sections 3
 // and 6): a virtual node connected to source i with weight offsets[i].
 func DijkstraOffsets(g *graph.Graph, dir graph.Direction, sources []graph.NodeID, offsets []graph.Weight) *Tree {
+	t, _ := DijkstraOffsetsContext(nil, g, dir, sources, offsets)
+	return t
+}
+
+// DijkstraOffsetsContext is DijkstraOffsets with the cancellation contract
+// of DijkstraContext. A nil ctx never cancels.
+func DijkstraOffsetsContext(ctx context.Context, g *graph.Graph, dir graph.Direction, sources []graph.NodeID, offsets []graph.Weight) (*Tree, error) {
 	if len(sources) == 0 {
 		panic("sssp: no sources")
 	}
@@ -86,7 +126,11 @@ func DijkstraOffsets(g *graph.Graph, dir graph.Direction, sources []graph.NodeID
 			q.PushOrDecrease(s, offsets[i])
 		}
 	}
+	countdown := pollEvery
 	for q.Len() > 0 {
+		if err := canceled(ctx, &countdown); err != nil {
+			return t, err
+		}
 		v, d := q.Pop()
 		if d > t.Dist[v] {
 			continue // stale entry (NodeQueue avoids these, but be safe)
@@ -99,7 +143,7 @@ func DijkstraOffsets(g *graph.Graph, dir graph.Direction, sources []graph.NodeID
 			}
 		}
 	}
-	return t
+	return t, nil
 }
 
 // DistancesToSet returns, for every node v, the shortest distance from v to
@@ -117,6 +161,14 @@ func DistancesToSet(g *graph.Graph, targets []graph.NodeID) []graph.Weight {
 // Backward search this is the reverse of the forward-graph path), its
 // length, and whether `to` is reachable.
 func AStar(g *graph.Graph, dir graph.Direction, from, to graph.NodeID, h func(graph.NodeID) graph.Weight) ([]graph.NodeID, graph.Weight, bool) {
+	path, length, found, _ := AStarContext(nil, g, dir, from, to, h)
+	return path, length, found
+}
+
+// AStarContext is AStar with cooperative cancellation: a canceled ctx
+// stops the search within a few hundred heap pops and returns found=false
+// with a wrapped context error. A nil ctx never cancels.
+func AStarContext(ctx context.Context, g *graph.Graph, dir graph.Direction, from, to graph.NodeID, h func(graph.NodeID) graph.Weight) ([]graph.NodeID, graph.Weight, bool, error) {
 	n := g.NumNodes()
 	dist := make([]graph.Weight, n)
 	parent := make([]graph.NodeID, n)
@@ -134,7 +186,11 @@ func AStar(g *graph.Graph, dir graph.Direction, from, to graph.NodeID, h func(gr
 	q := pqueue.NewNodeQueue(n)
 	dist[from] = 0
 	q.PushOrDecrease(from, hv(from))
+	countdown := pollEvery
 	for q.Len() > 0 {
+		if err := canceled(ctx, &countdown); err != nil {
+			return nil, graph.Infinity, false, err
+		}
 		v, _ := q.Pop()
 		if settled[v] {
 			continue
@@ -152,7 +208,7 @@ func AStar(g *graph.Graph, dir graph.Direction, from, to graph.NodeID, h func(gr
 		}
 	}
 	if dist[to] >= graph.Infinity {
-		return nil, graph.Infinity, false
+		return nil, graph.Infinity, false, nil
 	}
 	var chain []graph.NodeID
 	for u := to; u >= 0; u = parent[u] {
@@ -161,7 +217,7 @@ func AStar(g *graph.Graph, dir graph.Direction, from, to graph.NodeID, h func(gr
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
-	return chain, dist[to], true
+	return chain, dist[to], true, nil
 }
 
 // PathLength sums the weights along the node sequence path in g, verifying

@@ -1,6 +1,7 @@
 package kpj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -83,6 +84,18 @@ type Options struct {
 	// (subspaces enqueued/bounded/pruned, τ rounds, emitted paths) — an
 	// EXPLAIN-style view of the query.
 	Trace io.Writer
+	// Context, when non-nil, makes the query cancelable: cancellation or
+	// a deadline stops the engine within a few hundred heap pops, and the
+	// query returns the paths found so far plus a *TruncatedError wrapping
+	// ErrCanceled. See also TopKJoinSetsContext and BatchContext.
+	Context context.Context
+	// Budget, when positive, caps the query's total work, measured in
+	// heap pops plus edge relaxations (the units Stats reports as
+	// NodesPopped and EdgesRelaxed). A query that exceeds it returns the
+	// paths found so far plus a *TruncatedError wrapping
+	// ErrBudgetExceeded. Budgets make worst-case latency proportional to
+	// the budget regardless of graph size, k, or query difficulty.
+	Budget int64
 }
 
 // Index is a prebuilt landmark (ALT) lower-bound index over one Graph. It
@@ -131,6 +144,8 @@ func (o *Options) coreOptions(g *Graph) (core.Options, core.Func, error) {
 	if o != nil {
 		opt.Alpha = o.Alpha
 		opt.Stats = o.Stats
+		opt.Context = o.Context
+		opt.Budget = o.Budget
 		if o.Index != nil {
 			opt.Index = o.Index.ix
 		}
@@ -162,21 +177,30 @@ func (o *Options) coreOptions(g *Graph) (core.Options, core.Func, error) {
 // TopKJoinSets answers the most general query: the k shortest simple paths
 // from any node of sources to any node of targets. Duplicate ids are
 // ignored. Fewer than k paths are returned when fewer exist.
+//
+// When the query is interrupted by Options.Context or Options.Budget, the
+// returned slice holds the paths found so far (a prefix of the full
+// answer) and the error is a *TruncatedError satisfying
+// errors.Is(err, ErrCanceled) or errors.Is(err, ErrBudgetExceeded).
 func (g *Graph) TopKJoinSets(sources, targets []NodeID, k int, opt *Options) ([]Path, error) {
 	copt, fn, err := opt.coreOptions(g)
 	if err != nil {
 		return nil, err
 	}
 	q := core.Query{Sources: dedupe(sources), Targets: dedupe(targets), K: k}
-	paths, err := fn(g.g, q, copt)
-	if err != nil {
-		return nil, err
+	return finishQuery(fn(g.g, q, copt))
+}
+
+// TopKJoinSetsContext is TopKJoinSets bound to ctx: it overrides
+// opt.Context (opt itself is not modified) and inherits the partial-result
+// contract documented there.
+func (g *Graph) TopKJoinSetsContext(ctx context.Context, sources, targets []NodeID, k int, opt *Options) ([]Path, error) {
+	var o Options
+	if opt != nil {
+		o = *opt
 	}
-	out := make([]Path, len(paths))
-	for i, p := range paths {
-		out[i] = Path{Nodes: p.Nodes, Length: p.Length}
-	}
-	return out, nil
+	o.Context = ctx
+	return g.TopKJoinSets(sources, targets, k, &o)
 }
 
 // TopKJoin answers a KPJ query: the k shortest simple paths from source to

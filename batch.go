@@ -1,8 +1,10 @@
 package kpj
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,11 +29,16 @@ type BatchResult struct {
 }
 
 // Batch answers many queries concurrently over one graph, using up to
-// `parallelism` workers (≤ 0 means GOMAXPROCS). Each worker reuses its own
-// scratch workspace across the queries it processes, so large batches
-// avoid the per-query allocation cost entirely. Results align with the
-// input by index. When opt.Stats is set, the workers' counters are merged
-// into it after all queries finish.
+// `parallelism` workers (≤ 0 means GOMAXPROCS). Each worker draws a
+// scratch workspace from the graph's pool and reuses it across the
+// queries it processes, so large batches avoid the per-query allocation
+// cost entirely. Results align with the input by index. When opt.Stats is
+// set, the workers' counters are merged into it after all queries finish.
+// When opt.Trace is set, each query is traced into its own buffer and the
+// buffers are written to the trace writer in input-index order after all
+// queries finish — the merged trace is deterministic and identical to
+// running the queries sequentially, regardless of worker scheduling; each
+// item's trace is preceded by a "batch item #i" header line.
 func (g *Graph) Batch(queries []BatchQuery, parallelism int, opt *Options) []BatchResult {
 	return g.BatchContext(nil, queries, parallelism, opt)
 }
@@ -55,7 +62,13 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 		}
 		return results
 	}
-	copt.Trace = nil // tracing interleaves across workers; unsupported in batches
+	// Tracing would interleave across workers; instead each item traces
+	// into its own buffer, merged in index order after the wait below.
+	copt.Trace = nil
+	var traces []bytes.Buffer
+	if opt != nil && opt.Trace != nil {
+		traces = make([]bytes.Buffer, len(queries))
+	}
 	if ctx != nil {
 		copt.Context = ctx
 	}
@@ -88,6 +101,7 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 		parallelism = len(queries)
 	}
 
+	pool := workspacePool{g}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards the merged stats
@@ -97,7 +111,8 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 		go func() {
 			defer wg.Done()
 			workerOpt := copt
-			workerOpt.Workspace = core.NewWorkspace(g.NumNodes() + 2)
+			workerOpt.Workspace = pool.Get(g.NumNodes() + 2)
+			defer pool.Put(workerOpt.Workspace)
 			var st Stats
 			if copt.Stats != nil {
 				workerOpt.Stats = &st
@@ -115,6 +130,9 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 					results[i].Err = skipErr()
 					continue
 				}
+				if traces != nil {
+					workerOpt.Trace = traceWriter(&traces[i], g.NumNodes())
+				}
 				bq := queries[i]
 				q := core.Query{Sources: dedupe(bq.Sources), Targets: dedupe(bq.Targets), K: bq.K}
 				results[i].Paths, results[i].Err = finishQuery(fn(g.g, q, workerOpt))
@@ -129,6 +147,12 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 	wg.Wait()
 	if opt != nil && opt.Stats != nil {
 		opt.Stats.Add(merged)
+	}
+	if traces != nil {
+		for i := range traces {
+			fmt.Fprintf(opt.Trace, "batch item #%d\n", i)
+			io.Copy(opt.Trace, &traces[i])
+		}
 	}
 	return results
 }

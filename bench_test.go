@@ -6,6 +6,7 @@ package kpj_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"kpj/internal/experiments"
 	"kpj/internal/gen"
 	"kpj/internal/graph"
+	"kpj/internal/landmark"
 	"kpj/internal/sssp"
 )
 
@@ -60,6 +62,9 @@ func benchQuery(b *testing.B, ds, algo, category string, k int, landmarks int, a
 		opt.Index = ix
 	}
 	opt.Workspace = core.NewWorkspace(g.NumNodes() + 2)
+	// Follow -cpu: `go test -bench ... -cpu 1,4` compares the sequential
+	// engine against the 4-worker one on identical queries.
+	opt.Parallelism = runtime.GOMAXPROCS(0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -206,6 +211,28 @@ func BenchmarkFig12Scalability(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			benchQuery(b, "COL", "IterBoundI", "T2", k, 8, 1.1)
 		})
+	}
+}
+
+// BenchmarkIndexBuild measures landmark index construction (|L|=20 on
+// COL): 2|L|+1 independent Dijkstras, fanned across GOMAXPROCS workers,
+// so `-cpu 1,4` exposes the build's parallel scaling.
+func BenchmarkIndexBuild(b *testing.B) {
+	e := env()
+	g, err := e.Graph("COL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := landmark.BuildParallel(g, 20, 1, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.Count() != 20 {
+			b.Fatalf("got %d landmarks", ix.Count())
+		}
 	}
 }
 

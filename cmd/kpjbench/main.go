@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,19 +30,21 @@ func main() {
 	landmarks := flag.Int("landmarks", 0, "landmark count |L| (default 16)")
 	alpha := flag.Float64("alpha", 0, "tau growth factor (default 1.1)")
 	seed := flag.Int64("seed", 0, "RNG seed (default 1)")
-	format := flag.String("format", "text", "output format: text or csv")
+	parallelism := flag.Int("parallelism", 1, "worker goroutines per query's subspace searches (<= 1 sequential; identical results)")
+	format := flag.String("format", "text", "output format: text, csv, or json")
 	flag.Parse()
-	if *format != "text" && *format != "csv" {
+	if *format != "text" && *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "kpjbench: unknown format %q\n", *format)
 		os.Exit(2)
 	}
 
 	env := experiments.NewEnv(experiments.Config{
-		Scale:     *scale,
-		PerSet:    *perSet,
-		Landmarks: *landmarks,
-		Alpha:     *alpha,
-		Seed:      *seed,
+		Scale:       *scale,
+		PerSet:      *perSet,
+		Landmarks:   *landmarks,
+		Alpha:       *alpha,
+		Seed:        *seed,
+		Parallelism: *parallelism,
 	})
 	if *format == "text" {
 		fmt.Printf("kpjbench: scale=%.2f perset=%d landmarks=%d alpha=%.2f seed=%d\n\n",
@@ -55,6 +58,13 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	reg := experiments.Registry()
+	// jsonDoc accumulates the -format json output: the effective config
+	// plus every table, keyed by experiment id. CI diffs this against the
+	// checked-in BENCH_baseline.json to catch row/column regressions.
+	jsonDoc := struct {
+		Config experiments.Config             `json:"config"`
+		Tables map[string][]experiments.Table `json:"tables"`
+	}{Config: env.Cfg, Tables: map[string][]experiments.Table{}}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		drv, ok := reg[id]
@@ -70,18 +80,29 @@ func main() {
 			os.Exit(1)
 		}
 		for i := range tables {
-			if *format == "csv" {
+			switch *format {
+			case "csv":
 				if err := tables[i].WriteCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "kpjbench: %v\n", err)
 					os.Exit(1)
 				}
 				fmt.Println()
-			} else {
+			case "json":
+				jsonDoc.Tables[id] = tables
+			default:
 				tables[i].Print(os.Stdout)
 			}
 		}
 		if *format == "text" {
 			fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc); err != nil {
+			fmt.Fprintf(os.Stderr, "kpjbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

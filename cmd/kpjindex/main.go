@@ -19,16 +19,17 @@ func main() {
 	graphPath := flag.String("graph", "", "DIMACS .gr file (required)")
 	landmarks := flag.Int("landmarks", 16, "landmark count")
 	seed := flag.Int64("seed", 1, "selection seed")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for the construction Dijkstras (<= 0 all cores)")
 	out := flag.String("out", "kpj.idx", "output index file")
 	flag.Parse()
 
-	if err := run(*graphPath, *landmarks, *seed, *out); err != nil {
+	if err := run(*graphPath, *landmarks, *seed, *parallelism, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjindex: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, landmarks int, seed int64, out string) error {
+func run(graphPath string, landmarks int, seed int64, parallelism int, out string) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -42,7 +43,7 @@ func run(graphPath string, landmarks int, seed int64, out string) error {
 		return err
 	}
 	start := time.Now()
-	ix, err := kpj.BuildIndex(g, landmarks, seed)
+	ix, err := kpj.BuildIndexParallel(g, landmarks, seed, parallelism)
 	if err != nil {
 		return err
 	}

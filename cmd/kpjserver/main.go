@@ -43,18 +43,20 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request deadline for /query and /batch (0 = none)")
 	budget := flag.Int64("budget", 0, "per-query work cap in heap pops + edge relaxations (0 = unlimited)")
 	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries before shedding with 503 (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 1, "worker goroutines per query's subspace searches (<= 1 sequential; identical results)")
+	cacheSize := flag.Int("cachesize", 0, "cross-request bound-table cache entries (0 = default 128, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
-		*timeout, *budget, *maxInFlight, *drain); err != nil {
+		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
-	timeout time.Duration, budget int64, maxInFlight int, drain time.Duration) error {
+	timeout time.Duration, budget int64, maxInFlight, parallelism, cacheSize int, drain time.Duration) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -104,7 +106,9 @@ func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr 
 			server.WithMaxK(maxK),
 			server.WithTimeout(timeout),
 			server.WithBudget(budget),
-			server.WithMaxInFlight(maxInFlight)),
+			server.WithMaxInFlight(maxInFlight),
+			server.WithParallelism(parallelism),
+			server.WithBoundsCacheSize(cacheSize)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving %d nodes / %d edges (categories %v) on %s\n",

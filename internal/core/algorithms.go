@@ -2,6 +2,7 @@ package core
 
 import (
 	"kpj/internal/graph"
+	"kpj/internal/landmark"
 )
 
 // This file wires the engine into the paper's four contributed algorithms.
@@ -18,12 +19,20 @@ import (
 // IterBound_I-NL algorithm.
 
 // forwardHeuristic picks the Eq. 2 category bound when landmarks are
-// available, the zero heuristic otherwise.
+// available, the zero heuristic otherwise. With an Options.SetBounds cache
+// the per-category table is fetched from (or inserted into) the cache
+// instead of being rebuilt per query.
 func forwardHeuristic(sp *Space, q Query, opt *Options) Heuristic {
 	if opt.Index == nil {
 		return ZeroHeuristic{}
 	}
-	return CategoryHeuristic{Space: sp, Bounds: opt.Index.BoundsToSet(q.Targets)}
+	var b *landmark.Bounds
+	if opt.SetBounds != nil {
+		b = opt.SetBounds.BoundsToSet(opt.Index, q.Targets)
+	} else {
+		b = opt.Index.BoundsToSet(q.Targets)
+	}
+	return CategoryHeuristic{Space: sp, Bounds: b}
 }
 
 // reverseHeuristic bounds the remaining distance toward the source side of
@@ -35,7 +44,13 @@ func reverseHeuristic(sp *Space, q Query, opt *Options) Heuristic {
 	if len(q.Sources) == 1 {
 		return SourceHeuristic{Space: sp, Index: opt.Index, Source: q.Sources[0]}
 	}
-	return SourceSetHeuristic{Space: sp, Bounds: opt.Index.BoundsFromSet(q.Sources)}
+	var b *landmark.FromBounds
+	if opt.SetBounds != nil {
+		b = opt.SetBounds.BoundsFromSet(opt.Index, q.Sources)
+	} else {
+		b = opt.Index.BoundsFromSet(q.Sources)
+	}
+	return SourceSetHeuristic{Space: sp, Bounds: b}
 }
 
 // BestFirst processes a query with the best-first paradigm (paper Alg. 2):
@@ -49,11 +64,14 @@ func BestFirst(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	}
 	sp := NewForwardSpace(g, q.Sources, q.Targets)
 	h := forwardHeuristic(sp, q, &opt)
+	pool := opt.NewPool(sp.NumSpaceNodes())
+	defer pool.Close()
 	e := &engine{
 		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
 		searchH: h, lbH: h,
 		alpha:   0, // exact resolution
 		bound:   opt.bound,
+		pool:    pool,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
 	}
@@ -71,11 +89,14 @@ func IterBound(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	}
 	sp := NewForwardSpace(g, q.Sources, q.Targets)
 	h := forwardHeuristic(sp, q, &opt)
+	pool := opt.NewPool(sp.NumSpaceNodes())
+	defer pool.Close()
 	e := &engine{
 		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
 		searchH: h, lbH: h,
 		alpha:   opt.Alpha,
 		bound:   opt.bound,
+		pool:    pool,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
 	}
@@ -98,12 +119,15 @@ func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		return nil, opt.bound.Err()
 	}
 	h := TreeHeuristic{Dist: dt, Settled: settled, Fallback: forwardHeuristic(sp, q, &opt)}
+	pool := opt.NewPool(sp.NumSpaceNodes())
+	defer pool.Close()
 	e := &engine{
 		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
 		searchH: h, lbH: h,
 		alpha:   opt.Alpha,
 		initial: func() (SearchResult, bool) { return init, true },
 		bound:   opt.bound,
+		pool:    pool,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
 	}
@@ -128,6 +152,8 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		return nil, opt.bound.Err()
 	}
 	h := sptiHeuristic{t: tree, fallback: reverseHeuristic(rev, q, &opt)}
+	pool := opt.NewPool(rev.NumSpaceNodes())
+	defer pool.Close()
 	e := &engine{
 		sp: rev, pt: NewPseudoTree(rev.Root), ws: ws, k: q.K,
 		searchH:       h,
@@ -138,6 +164,7 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		beforeResolve: func(tau graph.Weight) { tree.growTo(tau) },
 		initial:       func() (SearchResult, bool) { return init, true },
 		bound:         opt.bound,
+		pool:          pool,
 		stats:         opt.Stats,
 		onEvent:       opt.Trace,
 	}

@@ -15,21 +15,48 @@ type entry struct {
 	vertex VertexID
 	key    graph.Weight
 	res    *SearchResult
-	seq    uint64 // FIFO tie-break for deterministic output order
 }
 
+// lessEntry orders the queue by key, breaking ties by pseudo-tree vertex
+// id. The tie-break uses only schedule-independent state — vertex ids are
+// assigned at emission time, never during resolution — which is what makes
+// the emitted path sequence identical at every parallelism level: keys of
+// unresolved entries are strict lower bounds of their subspace's shortest
+// length, resolved keys are exact, so the emission order collapses to
+// "sorted by (true length, vertex id)" no matter how resolution work was
+// scheduled.
 func lessEntry(a, b entry) bool {
 	if a.key != b.key {
 		return a.key < b.key
 	}
-	// Prefer resolved entries on ties: their path is already known to be
-	// optimal at this key, so output it before spending work elsewhere.
-	ar, br := a.res != nil, b.res != nil
-	if ar != br {
-		return ar
-	}
-	return a.seq < b.seq
+	return a.vertex < b.vertex
 }
+
+// resolveJob is one unresolved entry popped for (possibly speculative)
+// resolution in the current round, with the τ computed for it at pop time.
+type resolveJob struct {
+	ent    entry
+	tau    graph.Weight
+	res    SearchResult
+	status SearchStatus
+}
+
+// minParallelLB is the smallest division fan-out worth dispatching CompLB
+// calls to the pool; below it the coordination overhead dominates.
+const minParallelLB = 3
+
+// resolveBatch is the number of unresolved entries popped (speculatively)
+// per resolution round. It is a fixed constant, NOT the worker count: the
+// τ computed for each popped entry depends on what remains on the queue,
+// so a batch size that varied with Options.Parallelism would give the
+// searches different τs at different parallelism levels — and among
+// equal-length shortest paths, which representative a τ-bounded search
+// returns may depend on τ. Fixing the batch makes the whole resolution
+// schedule a pure function of the query, so the emitted path sequence is
+// bit-identical whether the batch runs inline (Parallelism <= 1) or
+// fanned across any number of workers. Eight keeps 4-8 workers busy while
+// bounding sequential speculation per round.
+const resolveBatch = 8
 
 // engine runs the best-first paradigm (Alg. 2) or, when alpha > 1 with a
 // finite bound schedule, the iteratively bounding approach (Alg. 4). The
@@ -60,9 +87,13 @@ type engine struct {
 	// unbounded. It is the same Bound installed in ws by Prepare.
 	bound *Bound
 
+	// pool, when non-nil, fans the independent searches of one round (and
+	// the CompLB calls at division time) across worker goroutines. The
+	// nil pool is the sequential Parallelism<=1 case of the same loop.
+	pool *Pool
+
 	stats   *Stats
 	onEvent TraceFunc
-	seq     uint64
 }
 
 // nextTau implements Alg. 4 line 9 with integer-safe strict growth:
@@ -89,13 +120,18 @@ func (e *engine) nextTau(lb graph.Weight, top graph.Weight, haveTop bool) graph.
 // run executes the main loop and returns up to k paths in non-decreasing
 // length order. When the query's Bound trips mid-run, it returns the
 // paths emitted so far (a prefix of the unbounded result, since the bound
-// never alters search order) together with the bound's error.
+// never alters the emission order) together with the bound's error.
+//
+// With a pool, each iteration pops up to Workers unresolved entries and
+// resolves them concurrently (τ fixed per entry at pop time, so the τ
+// schedule is deterministic for a given worker count); their outcomes are
+// merged back in pop order. Speculative resolution never changes the
+// output: a Found result is the subspace's true shortest path regardless
+// of τ or of SPT_I having grown past this entry's τ, and an Exceeded
+// entry re-enters the queue keyed by a τ that is still a strict lower
+// bound of its subspace's shortest length.
 func (e *engine) run() ([]Path, error) {
 	q := pqueue.NewHeap[entry](lessEntry)
-	push := func(v VertexID, key graph.Weight, res *SearchResult) {
-		e.seq++
-		q.Push(entry{vertex: v, key: key, res: res, seq: e.seq})
-	}
 
 	// Seed with the shortest path of the whole space.
 	var first SearchResult
@@ -110,81 +146,84 @@ func (e *engine) run() ([]Path, error) {
 	if !ok {
 		return nil, e.bound.Err()
 	}
-	push(0, first.Total, &first)
+	q.Push(entry{vertex: 0, key: first.Total, res: &first})
 	e.trace(Event{Kind: EventEnqueue, Vertex: 0, Node: e.pt.Node(0), Length: first.Total})
+
+	jobs := make([]resolveJob, 0, resolveBatch)
 
 	var out []Path
 	for len(out) < e.k && q.Len() > 0 {
 		if err := e.bound.Step(); err != nil {
 			return out, err
 		}
-		ent := q.Pop()
-		if ent.res == nil {
-			// Unresolved: tighten (IterBound) or solve exactly (BestFirst).
+		if q.Top().res != nil {
+			if stop := e.emitAndDivide(q, q.Pop(), &out); stop {
+				if err := e.bound.Err(); err != nil && len(out) < e.k {
+					return out, err
+				}
+				break
+			}
+			continue
+		}
+
+		// Unresolved round: pop up to resolveBatch entries to tighten
+		// (IterBound) or solve exactly (BestFirst). τ for each is
+		// computed against the queue as seen at its pop, so the schedule
+		// of bounds is a pure function of the query alone.
+		jobs = jobs[:0]
+		jobs = append(jobs, resolveJob{ent: q.Pop()})
+		for len(jobs) < resolveBatch && q.Len() > 0 && q.Top().res == nil {
+			if err := e.bound.Step(); err != nil {
+				return out, err
+			}
+			jobs = append(jobs, resolveJob{ent: q.Pop()})
+		}
+		maxTau := graph.Weight(-1)
+		for i := range jobs {
 			var top graph.Weight
 			haveTop := q.Len() > 0
 			if haveTop {
 				top = q.Top().key
 			}
-			tau := e.nextTau(ent.key, top, haveTop)
-			if e.beforeResolve != nil {
-				e.beforeResolve(tau)
+			jobs[i].tau = e.nextTau(jobs[i].ent.key, top, haveTop)
+			if jobs[i].tau > maxTau {
+				maxTau = jobs[i].tau
 			}
-			res, status := e.ws.SubspaceSearch(e.sp, e.pt, ent.vertex, e.searchH, tau, e.pruner, e.stats)
-			switch status {
+		}
+		if e.beforeResolve != nil {
+			e.beforeResolve(maxTau)
+		}
+		if len(jobs) == 1 || e.pool == nil {
+			for i := range jobs {
+				j := &jobs[i]
+				j.res, j.status = e.ws.SubspaceSearch(e.sp, e.pt, j.ent.vertex, e.searchH, j.tau, e.pruner, e.stats)
+			}
+		} else {
+			e.pool.Run(len(jobs), func(i int, ws *Workspace, st *Stats) {
+				j := &jobs[i]
+				j.res, j.status = ws.SubspaceSearch(e.sp, e.pt, j.ent.vertex, e.searchH, j.tau, e.pruner, st)
+			})
+		}
+		for i := range jobs {
+			j := &jobs[i]
+			switch j.status {
 			case Found:
-				push(ent.vertex, res.Total, &res)
+				res := j.res
+				q.Push(entry{vertex: j.ent.vertex, key: res.Total, res: &res})
 			case Exceeded:
 				if e.stats != nil {
 					e.stats.TauRounds++
 				}
-				push(ent.vertex, tau, nil)
+				q.Push(entry{vertex: j.ent.vertex, key: j.tau})
 			case Empty:
 				// drop: the subspace holds no path
 			case Aborted:
-				e.trace(Event{Kind: EventResolve, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex),
-					Tau: tau, Status: status})
+				e.trace(Event{Kind: EventResolve, Vertex: j.ent.vertex, Node: e.pt.Node(j.ent.vertex),
+					Tau: j.tau, Status: j.status})
 				return out, e.bound.Err()
 			}
-			e.trace(Event{Kind: EventResolve, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex),
-				Length: res.Total, Tau: tau, Status: status})
-			continue
-		}
-
-		// Resolved: output the path and divide the subspace (Alg. 2
-		// lines 6-10).
-		res := ent.res
-		full := append(e.pt.PrefixPath(ent.vertex), res.Suffix...)
-		out = append(out, e.sp.Materialize(full, res.Total))
-		e.trace(Event{Kind: EventEmit, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex), Length: res.Total})
-		if len(out) == e.k {
-			break
-		}
-		created := e.pt.InsertSuffix(ent.vertex, res.Suffix, res.Lens)
-		// New subspaces: the deviation vertex itself (its X grew) and
-		// every suffix vertex except the goal (whose subspace is empty).
-		enqueue := func(v VertexID) {
-			if e.pt.Node(v) == e.sp.Goal {
-				return
-			}
-			var rootPruner Pruner
-			if e.lbRootPruner != nil && e.pt.Node(v) == e.sp.Root {
-				rootPruner = e.lbRootPruner
-			}
-			lb := e.ws.CompLB(e.sp, e.pt, v, e.lbH, rootPruner, e.stats)
-			if lb >= graph.Infinity {
-				e.trace(Event{Kind: EventDrop, Vertex: v, Node: e.pt.Node(v), Length: lb})
-				return // provably empty subspace
-			}
-			if lb < res.Total {
-				lb = res.Total // Alg. 2 line 9: floor at ω(P)
-			}
-			push(v, lb, nil)
-			e.trace(Event{Kind: EventEnqueue, Vertex: v, Node: e.pt.Node(v), Length: lb})
-		}
-		enqueue(ent.vertex)
-		for _, v := range created {
-			enqueue(v)
+			e.trace(Event{Kind: EventResolve, Vertex: j.ent.vertex, Node: e.pt.Node(j.ent.vertex),
+				Length: j.res.Total, Tau: j.tau, Status: j.status})
 		}
 	}
 	// A bound that tripped inside a helper (SPT growth, CompLB) without an
@@ -195,4 +234,68 @@ func (e *engine) run() ([]Path, error) {
 		}
 	}
 	return out, nil
+}
+
+// emitAndDivide outputs the resolved entry's path and divides its subspace
+// (Alg. 2 lines 6-10), enqueueing the deviation vertex and the new suffix
+// vertices with CompLB lower bounds. The CompLB calls are independent and
+// fan out to the pool when the division is wide enough. It reports whether
+// the main loop must stop (k paths emitted, or the bound tripped during a
+// lower-bound computation).
+func (e *engine) emitAndDivide(q *pqueue.Heap[entry], ent entry, out *[]Path) (stop bool) {
+	res := ent.res
+	full := append(e.pt.PrefixPath(ent.vertex), res.Suffix...)
+	*out = append(*out, e.sp.Materialize(full, res.Total))
+	e.trace(Event{Kind: EventEmit, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex), Length: res.Total})
+	if len(*out) == e.k {
+		return true
+	}
+	created := e.pt.InsertSuffix(ent.vertex, res.Suffix, res.Lens)
+
+	// New subspaces: the deviation vertex itself (its X grew) and every
+	// suffix vertex except the goal (whose subspace is empty).
+	cands := make([]VertexID, 0, len(created)+1)
+	if e.pt.Node(ent.vertex) != e.sp.Goal {
+		cands = append(cands, ent.vertex)
+	}
+	for _, v := range created {
+		if e.pt.Node(v) != e.sp.Goal {
+			cands = append(cands, v)
+		}
+	}
+	lbs := make([]graph.Weight, len(cands))
+	if e.pool != nil && len(cands) >= minParallelLB {
+		e.pool.Run(len(cands), func(i int, ws *Workspace, st *Stats) {
+			lbs[i] = e.compLB(ws, cands[i], st)
+		})
+	} else {
+		for i, v := range cands {
+			lbs[i] = e.compLB(e.ws, v, e.stats)
+		}
+	}
+	for i, v := range cands {
+		lb := lbs[i]
+		if lb >= graph.Infinity {
+			e.trace(Event{Kind: EventDrop, Vertex: v, Node: e.pt.Node(v), Length: lb})
+			continue // provably empty subspace
+		}
+		if lb < res.Total {
+			lb = res.Total // Alg. 2 line 9: floor at ω(P)
+		}
+		q.Push(entry{vertex: v, key: lb})
+		e.trace(Event{Kind: EventEnqueue, Vertex: v, Node: e.pt.Node(v), Length: lb})
+	}
+	// CompLB returns 0 (a valid lower bound) when a bound trips inside it;
+	// stop before acting on the degraded values' enqueues.
+	return e.bound.Err() != nil
+}
+
+// compLB computes the subspace lower bound for v on the given workspace,
+// applying the virtual-root D-restriction where configured (Alg. 8).
+func (e *engine) compLB(ws *Workspace, v VertexID, st *Stats) graph.Weight {
+	var rootPruner Pruner
+	if e.lbRootPruner != nil && e.pt.Node(v) == e.sp.Root {
+		rootPruner = e.lbRootPruner
+	}
+	return ws.CompLB(e.sp, e.pt, v, e.lbH, rootPruner, st)
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WorkspacePool supplies per-worker scratch workspaces for intra-query
+// parallelism. Get must return a workspace with Fits(n); Put returns one
+// for reuse. Implementations must be safe for concurrent use. The root
+// package backs this with a sync.Pool on each Graph so worker workspaces
+// are shared with the single-query hot path.
+type WorkspacePool interface {
+	Get(n int) *Workspace
+	Put(ws *Workspace)
+}
+
+// Pool fans the independent computations of one query — the subspace
+// searches of an IterBound round, CompLB calls at division time, the
+// deviation algorithms' candidate resolutions — across a fixed set of
+// worker goroutines. Each worker owns a Workspace (with its share of the
+// query's Bound installed) and a private Stats, so the searches themselves
+// run without any synchronization; Close merges the stats and returns the
+// workspaces.
+//
+// A nil *Pool is valid and means "sequential": Workers reports 0 and Run
+// and Close are no-ops, so the engine can treat Parallelism=1 as the
+// degenerate case of the same code path.
+type Pool struct {
+	slots  []poolSlot
+	rounds chan poolRound
+	src    WorkspacePool
+	stats  *Stats
+}
+
+type poolSlot struct {
+	ws *Workspace
+	st Stats
+}
+
+// poolRound is one barrier of tasks: workers claim task indexes from next
+// until m is exhausted. Every copy sent on the rounds channel accounts for
+// exactly one wg.Done, whichever worker consumes it.
+type poolRound struct {
+	m    int
+	next *atomic.Int64
+	f    func(task, slot int)
+	wg   *sync.WaitGroup
+}
+
+// NewPool materializes the intra-query worker pool described by the
+// options: nil when opt.Parallelism <= 1 (the sequential case). Workspaces
+// come from opt.Workspaces when set (falling back to fresh allocation) and
+// each receives a share of the query's Bound, so budget and cancellation
+// hold across all workers. Call after Prepare (which materializes the
+// Bound) and Close when the query is done.
+func (opt *Options) NewPool(n int) *Pool {
+	if opt.Parallelism <= 1 {
+		return nil
+	}
+	p := &Pool{
+		slots:  make([]poolSlot, opt.Parallelism),
+		rounds: make(chan poolRound),
+		src:    opt.Workspaces,
+		stats:  opt.Stats,
+	}
+	bounds := opt.bound.Share(opt.Parallelism)
+	for i := range p.slots {
+		var ws *Workspace
+		if p.src != nil {
+			ws = p.src.Get(n)
+		}
+		if ws == nil || !ws.Fits(n) {
+			ws = NewWorkspace(n)
+		}
+		ws.bound = bounds[i]
+		p.slots[i].ws = ws
+		go p.worker(i)
+	}
+	return p
+}
+
+// Workers returns the number of worker slots; 0 for the nil (sequential)
+// pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.slots)
+}
+
+// Run executes f for every task index in [0, m) across the workers and
+// returns when all are done. f receives the worker's private Workspace and
+// Stats; it must not touch shared mutable state. Run must not be called
+// concurrently with itself or Close.
+func (p *Pool) Run(m int, f func(task int, ws *Workspace, st *Stats)) {
+	if p == nil || m == 0 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	r := poolRound{
+		m:    m,
+		next: &next,
+		wg:   &wg,
+		f: func(task, slot int) {
+			s := &p.slots[slot]
+			f(task, s.ws, &s.st)
+		},
+	}
+	n := len(p.slots)
+	if m < n {
+		n = m
+	}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.rounds <- r
+	}
+	wg.Wait()
+}
+
+func (p *Pool) worker(slot int) {
+	for r := range p.rounds {
+		for {
+			i := int(r.next.Add(1)) - 1
+			if i >= r.m {
+				break
+			}
+			r.f(i, slot)
+		}
+		r.wg.Done()
+	}
+}
+
+// Close stops the workers, merges their private stats into the query's
+// Stats, returns unspent budget allowances to the shared pool, and hands
+// the workspaces back to the WorkspacePool. Safe on a nil pool.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	close(p.rounds)
+	for i := range p.slots {
+		s := &p.slots[i]
+		s.ws.bound.release()
+		s.ws.bound = nil
+		if p.stats != nil {
+			p.stats.Add(s.st)
+		}
+		if p.src != nil {
+			p.src.Put(s.ws)
+		}
+	}
+}

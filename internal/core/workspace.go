@@ -84,6 +84,11 @@ func (ws *Workspace) Fits(n int) bool { return ws.n >= n }
 // the engine's cancellation discipline.
 func (ws *Workspace) Bound() *Bound { return ws.bound }
 
+// DetachBound clears the installed bound. Pools call it before recycling
+// a workspace so a stale query's context or budget can never leak into
+// the next query that draws the workspace.
+func (ws *Workspace) DetachBound() { ws.bound = nil }
+
 func bumpEpoch(epoch *uint32, stamps []uint32) {
 	*epoch++
 	if *epoch == 0 {

@@ -8,7 +8,11 @@
 // Both algorithms eagerly compute a candidate (the subspace's shortest
 // path) for every subspace the moment it is created — the O(k·n) shortest
 // path computations whose cost the best-first paradigm of internal/core is
-// designed to avoid.
+// designed to avoid. Those per-deviation-point computations are mutually
+// independent, so with Options.Parallelism > 1 each emission's batch of
+// new subspaces is resolved concurrently on a core.Pool; resolution order
+// does not influence any candidate's path, so the output is identical at
+// every parallelism level.
 package deviation
 
 import (
@@ -32,16 +36,28 @@ func lessCandidate(a, b candidate) bool {
 	return a.seq < b.seq
 }
 
+// resolveFunc computes the shortest path of the subspace at v on the given
+// workspace (ok=false when the subspace is empty or the bound tripped).
+// The result depends only on the pseudo-tree state at call time, never on
+// the workspace or on other in-flight resolutions, so a batch of calls may
+// run concurrently on distinct workspaces.
+type resolveFunc func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core.SearchResult, bool)
+
 // run is the deviation main loop shared by DA and DA-SPT: resolve is
-// invoked once per subspace, immediately at creation, and must return the
-// subspace's shortest path (or ok=false when the subspace is empty).
-// trace, when non-nil, observes each step. When bound trips mid-run the
-// loop stops and returns the paths emitted so far with the bound's error.
-func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID) (core.SearchResult, bool), trace core.TraceFunc, bound *core.Bound) ([]core.Path, error) {
+// invoked once per subspace, immediately at creation. After each emission
+// the newly created subspaces form an independent batch; with a pool they
+// are resolved concurrently and pushed in deterministic (creation) order,
+// with seq numbers assigned at push so the candidate heap is bit-identical
+// to the sequential run's. trace, when non-nil, observes each step. When
+// bound trips mid-run the loop stops and returns the paths emitted so far
+// with the bound's error.
+func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
+	ws *core.Workspace, st *core.Stats, pool *core.Pool,
+	trace core.TraceFunc, bound *core.Bound) ([]core.Path, error) {
+
 	cand := pqueue.NewHeap[candidate](lessCandidate)
 	var seq uint64
-	push := func(v core.VertexID) {
-		res, ok := resolve(v)
+	push := func(v core.VertexID, res core.SearchResult, ok bool) {
 		if trace != nil {
 			status := core.Found
 			if !ok {
@@ -55,8 +71,34 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID)
 			cand.Push(candidate{vertex: v, res: res, seq: seq})
 		}
 	}
-	push(0)
+	type job struct {
+		v   core.VertexID
+		res core.SearchResult
+		ok  bool
+	}
+	var jobs []job
+	resolveBatch := func(vs []core.VertexID) {
+		jobs = jobs[:0]
+		for _, v := range vs {
+			jobs = append(jobs, job{v: v})
+		}
+		if pool != nil && len(jobs) > 1 {
+			pool.Run(len(jobs), func(i int, ws *core.Workspace, st *core.Stats) {
+				jobs[i].res, jobs[i].ok = resolve(ws, st, jobs[i].v)
+			})
+		} else {
+			for i := range jobs {
+				jobs[i].res, jobs[i].ok = resolve(ws, st, jobs[i].v)
+			}
+		}
+		for i := range jobs {
+			push(jobs[i].v, jobs[i].res, jobs[i].ok)
+		}
+	}
+
+	resolveBatch([]core.VertexID{0})
 	var out []core.Path
+	var batch []core.VertexID
 	for len(out) < k && cand.Len() > 0 {
 		if err := bound.Step(); err != nil {
 			return out, err
@@ -71,11 +113,21 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve func(core.VertexID)
 			break
 		}
 		created := pt.InsertSuffix(top.vertex, top.res.Suffix, top.res.Lens)
-		push(top.vertex)
+		batch = batch[:0]
+		batch = append(batch, top.vertex)
 		for _, v := range created {
 			if pt.Node(v) != sp.Goal {
-				push(v)
+				batch = append(batch, v)
 			}
+		}
+		resolveBatch(batch)
+		// A resolve that aborted (bound tripped) was dropped from the
+		// candidate heap, so emitting anything further would skip it; stop
+		// immediately. Err consults the shared trip state directly, where
+		// Step would coast on this goroutine's local allowance until its
+		// next poll.
+		if err := bound.Err(); err != nil {
+			return out, err
 		}
 	}
 	// A bound that tripped inside resolve (dropping candidates) still
@@ -99,11 +151,13 @@ func DA(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) {
 	}
 	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
 	pt := core.NewPseudoTree(sp.Root)
-	resolve := func(v core.VertexID) (core.SearchResult, bool) {
-		res, status := ws.SubspaceSearch(sp, pt, v, core.ZeroHeuristic{}, graph.Infinity, nil, opt.Stats)
+	pool := opt.NewPool(sp.NumSpaceNodes())
+	defer pool.Close()
+	resolve := func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core.SearchResult, bool) {
+		res, status := ws.SubspaceSearch(sp, pt, v, core.ZeroHeuristic{}, graph.Infinity, nil, st)
 		return res, status == core.Found
 	}
-	return run(sp, pt, q.K, resolve, opt.Trace, ws.Bound())
+	return run(sp, pt, q.K, resolve, ws, opt.Stats, pool, opt.Trace, ws.Bound())
 }
 
 // DASPT processes a query with the DA-SPT baseline ([15], Section 3):
@@ -121,18 +175,20 @@ func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) 
 	rev := core.NewReverseSpace(g, q.Sources, q.Targets)
 	spt := buildFullSPT(rev, opt.Stats, ws.Bound())
 	pt := core.NewPseudoTree(sp.Root)
+	pool := opt.NewPool(sp.NumSpaceNodes())
+	defer pool.Close()
 	h := core.TreeHeuristic{Dist: spt.dt, Settled: spt.settled, Fallback: core.ZeroHeuristic{}}
-	resolve := func(v core.VertexID) (core.SearchResult, bool) {
+	resolve := func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core.SearchResult, bool) {
 		if res, ok := spt.pascoal(sp, pt, v); ok {
-			if opt.Stats != nil {
-				opt.Stats.LowerBounds++ // constant-time candidate
+			if st != nil {
+				st.LowerBounds++ // constant-time candidate
 			}
 			return res, true
 		}
-		res, status := ws.SubspaceSearch(sp, pt, v, h, graph.Infinity, nil, opt.Stats)
+		res, status := ws.SubspaceSearch(sp, pt, v, h, graph.Infinity, nil, st)
 		return res, status == core.Found
 	}
-	return run(sp, pt, q.K, resolve, opt.Trace, ws.Bound())
+	return run(sp, pt, q.K, resolve, ws, opt.Stats, pool, opt.Trace, ws.Bound())
 }
 
 // Algorithms returns the two baselines under their paper names.

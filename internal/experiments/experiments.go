@@ -27,7 +27,10 @@ type Config struct {
 	Landmarks int     // landmark count |L| (default 16, as chosen in Fig. 6a)
 	Alpha     float64 // τ growth factor (default 1.1, as chosen in Fig. 6b)
 	Seed      int64   // base RNG seed (default 1)
-	Rounds    int     // timing rounds per cell; the minimum round average
+	// Parallelism fans each query's subspace searches across workers
+	// (<= 1 sequential; identical results, different wall-clock).
+	Parallelism int
+	Rounds      int // timing rounds per cell; the minimum round average
 	// is reported, after one untimed warmup pass, to suppress GC and
 	// cold-cache noise (default 3)
 }
@@ -291,7 +294,7 @@ func (e *Env) runQueries(dsName, algoName string, sources []graph.NodeID, target
 		paths := 0
 		for _, s := range sources {
 			q := core.Query{Sources: []graph.NodeID{s}, Targets: targets, K: k}
-			opt := core.Options{Index: ix, Alpha: alpha, Workspace: ws}
+			opt := core.Options{Index: ix, Alpha: alpha, Workspace: ws, Parallelism: e.Cfg.Parallelism}
 			if collect {
 				opt.Stats = &m.Stats
 			}
@@ -357,7 +360,7 @@ func (e *Env) runJoinQueries(dsName, algoName string, sources, targets []graph.N
 		paths := 0
 		for r := 0; r < reps; r++ {
 			q := core.Query{Sources: sources, Targets: targets, K: k}
-			opt := core.Options{Index: ix, Alpha: alpha, Workspace: ws}
+			opt := core.Options{Index: ix, Alpha: alpha, Workspace: ws, Parallelism: e.Cfg.Parallelism}
 			if collect {
 				opt.Stats = &m.Stats
 			}

@@ -1,0 +1,164 @@
+package landmark
+
+import (
+	"container/list"
+	"sync"
+
+	"kpj/internal/graph"
+)
+
+// SetBoundsCache is a concurrency-safe LRU cache of the per-category
+// set-bound tables (Bounds and FromBounds, the paper's Eq. 2 tables).
+// Building one costs O(|L|·|V_T|) per query; a server answering thousands
+// of queries against a handful of categories rebuilds the same handful of
+// tables over and over. The cache is keyed by (index fingerprint,
+// direction, node-set hash) and verifies the node set exactly on every
+// hit, so a hash collision can never serve the wrong table — at worst it
+// degrades to a rebuild.
+//
+// Keying by Index.Fingerprint rather than pointer identity means a
+// process that reloads the same index from disk (or rebuilds it with the
+// same landmarks) keeps its warm cache; an index built with different
+// landmarks or over a different graph occupies distinct entries, which is
+// the invalidation story: stale tables are never returned, they merely age
+// out of the LRU.
+//
+// The zero value is not usable; create one with NewSetBoundsCache. All
+// methods are safe for concurrent use.
+type SetBoundsCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[setBoundsKey]*list.Element
+	lru     *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type setBoundsKey struct {
+	fp   uint64
+	kind uint8 // 0 = to-set (Bounds), 1 = from-set (FromBounds)
+	hash uint64
+}
+
+type setBoundsEntry struct {
+	key   setBoundsKey
+	nodes []graph.NodeID // exact-match verification on hit
+	val   any            // *Bounds or *FromBounds
+}
+
+// DefaultSetBoundsCacheSize is the capacity NewSetBoundsCache substitutes
+// for a non-positive request: room for a few hundred distinct categories,
+// a few MB at typical landmark counts.
+const DefaultSetBoundsCacheSize = 128
+
+// NewSetBoundsCache returns a cache holding at most capacity tables
+// (both directions counted together). capacity <= 0 uses
+// DefaultSetBoundsCacheSize.
+func NewSetBoundsCache(capacity int) *SetBoundsCache {
+	if capacity <= 0 {
+		capacity = DefaultSetBoundsCacheSize
+	}
+	return &SetBoundsCache{
+		cap:     capacity,
+		entries: make(map[setBoundsKey]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// BoundsToSet returns the destination-set table for targets, computing and
+// caching it on a miss. Equivalent to ix.BoundsToSet(targets); the node
+// slice is compared element-wise, so callers should pass canonically
+// ordered sets (the query layer dedupes and sorts) to hit reliably.
+func (c *SetBoundsCache) BoundsToSet(ix *Index, targets []graph.NodeID) *Bounds {
+	key := setBoundsKey{fp: ix.Fingerprint(), kind: 0, hash: hashNodes(targets)}
+	if v, ok := c.lookup(key, targets); ok {
+		return v.(*Bounds)
+	}
+	b := ix.BoundsToSet(targets)
+	c.insert(key, targets, b)
+	return b
+}
+
+// BoundsFromSet returns the source-set table for sources, computing and
+// caching it on a miss. Equivalent to ix.BoundsFromSet(sources).
+func (c *SetBoundsCache) BoundsFromSet(ix *Index, sources []graph.NodeID) *FromBounds {
+	key := setBoundsKey{fp: ix.Fingerprint(), kind: 1, hash: hashNodes(sources)}
+	if v, ok := c.lookup(key, sources); ok {
+		return v.(*FromBounds)
+	}
+	b := ix.BoundsFromSet(sources)
+	c.insert(key, sources, b)
+	return b
+}
+
+// Stats reports cumulative hit/miss counts and the current entry count.
+func (c *SetBoundsCache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}
+
+// lookup returns the cached table for key if the stored node set matches
+// nodes exactly, promoting the entry to most recently used.
+func (c *SetBoundsCache) lookup(key setBoundsKey, nodes []graph.NodeID) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*setBoundsEntry)
+		if sameNodes(e.nodes, nodes) {
+			c.lru.MoveToFront(el)
+			c.hits++
+			return e.val, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// insert stores a freshly computed table, evicting the least recently used
+// entry when full. Concurrent misses of the same key both compute and the
+// later insert wins — wasted work, never a wrong result.
+func (c *SetBoundsCache) insert(key setBoundsKey, nodes []graph.NodeID, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &setBoundsEntry{key: key, nodes: append([]graph.NodeID(nil), nodes...), val: val}
+	if el, ok := c.entries[key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.entries, old.Value.(*setBoundsEntry).key)
+	}
+}
+
+func sameNodes(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashNodes is FNV-1a over the node-id sequence.
+func hashNodes(nodes []graph.NodeID) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, v := range nodes {
+		x := uint64(uint32(v))
+		for i := 0; i < 4; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	return h
+}

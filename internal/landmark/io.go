@@ -142,5 +142,6 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 	if got != want {
 		return nil, ErrIndexChecksum
 	}
+	ix.fp = contentFingerprint(g, ix.landmarks)
 	return ix, nil
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"kpj/internal/graph"
 	"kpj/internal/sssp"
@@ -41,13 +43,33 @@ type Index struct {
 	landmarks []graph.NodeID
 	fwd       [][]int32 // fwd[i][v] = δ(landmarks[i], v)
 	bwd       [][]int32 // bwd[i][v] = δ(v, landmarks[i])
+	fp        uint64    // content fingerprint, see Fingerprint
+}
+
+// buildWorkers resolves a parallelism knob: <= 0 means all cores.
+func buildWorkers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
 }
 
 // Build selects `count` landmarks with the farthest-point heuristic seeded
 // by seed and precomputes their distance tables. count is clamped to the
 // number of nodes. It returns an error only for an empty graph or
-// non-positive count.
+// non-positive count. Construction uses all cores; see BuildParallel for
+// an explicit worker count.
 func Build(g *graph.Graph, count int, seed int64) (*Index, error) {
+	return BuildParallel(g, count, seed, 0)
+}
+
+// BuildParallel is Build with an explicit worker count (<= 0 means all
+// cores). The produced index is identical at every parallelism level: the
+// farthest-point selection chain is inherently sequential, but each chosen
+// landmark's forward Dijkstra doubles as its forward table (instead of
+// being recomputed) and the backward Dijkstras run concurrently with the
+// remaining selection rounds.
+func BuildParallel(g *graph.Graph, count int, seed int64, parallelism int) (*Index, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("landmark: empty graph")
@@ -61,12 +83,28 @@ func Build(g *graph.Graph, count int, seed int64) (*Index, error) {
 	rng := rand.New(rand.NewSource(seed))
 	start := graph.NodeID(rng.Intn(n))
 
+	// Backward tables are independent of the selection chain: launch each
+	// the moment its landmark is known, bounded by the worker count.
+	sem := make(chan struct{}, buildWorkers(parallelism))
+	var wg sync.WaitGroup
+	bwd := make([][]int32, count)
+	runBwd := func(i int, w graph.NodeID) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bwd[i] = compress(sssp.Dijkstra(g, graph.Backward, w).Dist)
+		}()
+	}
+
 	// Farthest-point selection: the first landmark is the node farthest
 	// from a random start; each next landmark is the node farthest from
 	// the chosen set (min-distance to the set, unreachable = infinitely
 	// far, ties broken by smaller id for determinism).
 	distToSet := sssp.Dijkstra(g, graph.Forward, start).Dist
 	chosen := make([]graph.NodeID, 0, count)
+	fwd := make([][]int32, 0, count)
 	inSet := make([]bool, n)
 	for len(chosen) < count {
 		best := graph.NodeID(-1)
@@ -86,13 +124,16 @@ func Build(g *graph.Graph, count int, seed int64) (*Index, error) {
 		chosen = append(chosen, best)
 		inSet[best] = true
 		from := sssp.Dijkstra(g, graph.Forward, best).Dist
+		fwd = append(fwd, compress(from)) // the selection Dijkstra IS the fwd table
+		runBwd(len(chosen)-1, best)
 		for v := 0; v < n; v++ {
 			if from[v] < distToSet[v] {
 				distToSet[v] = from[v]
 			}
 		}
 	}
-	return BuildWithLandmarks(g, chosen)
+	wg.Wait()
+	return newIndex(g, chosen, fwd, bwd[:len(chosen)]), nil
 }
 
 // BuildRandom selects `count` landmarks uniformly at random — the naive
@@ -119,26 +160,101 @@ func BuildRandom(g *graph.Graph, count int, seed int64) (*Index, error) {
 	return BuildWithLandmarks(g, chosen)
 }
 
-// BuildWithLandmarks builds the index for an explicit landmark set.
+// BuildWithLandmarks builds the index for an explicit landmark set, using
+// all cores for the 2·|L| independent table Dijkstras.
 func BuildWithLandmarks(g *graph.Graph, landmarks []graph.NodeID) (*Index, error) {
+	return BuildWithLandmarksParallel(g, landmarks, 0)
+}
+
+// BuildWithLandmarksParallel is BuildWithLandmarks with an explicit worker
+// count (<= 0 means all cores). The 2·|L| table Dijkstras are independent,
+// so construction speeds up near-linearly with cores; the produced index
+// is identical at every parallelism level.
+func BuildWithLandmarksParallel(g *graph.Graph, landmarks []graph.NodeID, parallelism int) (*Index, error) {
 	if len(landmarks) == 0 {
 		return nil, fmt.Errorf("landmark: no landmarks")
 	}
-	ix := &Index{
-		g:         g,
-		landmarks: append([]graph.NodeID(nil), landmarks...),
-		fwd:       make([][]int32, len(landmarks)),
-		bwd:       make([][]int32, len(landmarks)),
-	}
-	for i, w := range ix.landmarks {
+	for _, w := range landmarks {
 		if w < 0 || int(w) >= g.NumNodes() {
 			return nil, fmt.Errorf("landmark: %w: landmark %d", graph.ErrNodeRange, w)
 		}
-		ix.fwd[i] = compress(sssp.Dijkstra(g, graph.Forward, w).Dist)
-		ix.bwd[i] = compress(sssp.Dijkstra(g, graph.Backward, w).Dist)
 	}
-	return ix, nil
+	ids := append([]graph.NodeID(nil), landmarks...)
+	fwd := make([][]int32, len(ids))
+	bwd := make([][]int32, len(ids))
+	workers := buildWorkers(parallelism)
+	if workers > 2*len(ids) {
+		workers = 2 * len(ids)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	var nextMu sync.Mutex
+	claim := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		t := int(next)
+		next++
+		return t
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := claim()
+				if t >= 2*len(ids) {
+					return
+				}
+				if t < len(ids) {
+					fwd[t] = compress(sssp.Dijkstra(g, graph.Forward, ids[t]).Dist)
+				} else {
+					bwd[t-len(ids)] = compress(sssp.Dijkstra(g, graph.Backward, ids[t-len(ids)]).Dist)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return newIndex(g, ids, fwd, bwd), nil
 }
+
+// newIndex assembles an Index from prebuilt tables and stamps its content
+// fingerprint. ids must already be validated and owned by the caller.
+func newIndex(g *graph.Graph, ids []graph.NodeID, fwd, bwd [][]int32) *Index {
+	ix := &Index{g: g, landmarks: ids, fwd: fwd, bwd: bwd}
+	ix.fp = contentFingerprint(g, ids)
+	return ix
+}
+
+// contentFingerprint hashes everything the distance tables are a pure
+// function of: the graph fingerprint (node/edge counts, total weight) and
+// the landmark id sequence. FNV-1a over those words.
+func contentFingerprint(g *graph.Graph, ids []graph.NodeID) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	n, m, wsum := fingerprint(g)
+	mix(n)
+	mix(m)
+	mix(wsum)
+	for _, w := range ids {
+		mix(uint64(uint32(w)))
+	}
+	return h
+}
+
+// Fingerprint identifies the index contents for cross-query caching: two
+// indexes with the same fingerprint were built from a graph with the same
+// shape summary and the same landmark sequence, so their derived set-bound
+// tables are interchangeable. It is as collision-tolerant as the on-disk
+// graph fingerprint (see io.go): distinct graphs with identical node/edge
+// counts and total weight are not distinguished.
+func (ix *Index) Fingerprint() uint64 { return ix.fp }
 
 func compress(dist []graph.Weight) []int32 {
 	out := make([]int32, len(dist))

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesSharedCache drives many simultaneous /query
+// requests — intra-query parallelism on, all sharing the server's
+// bound-table cache — and checks every response against the single-
+// threaded answer. Run with -race: this is the workload shape the cache
+// and worker pool exist for.
+func TestConcurrentQueriesSharedCache(t *testing.T) {
+	s, _ := testServer(t, WithParallelism(4), WithBoundsCacheSize(2))
+
+	urls := []string{
+		"/query?source=0&category=hotel&k=6",
+		"/query?source=3&category=hotel&k=6",
+		"/query?sourceCategory=start&category=hotel&k=6",
+		"/query?source=0&target=35&k=6",
+	}
+	want := make([]QueryResponse, len(urls))
+	for i, u := range urls {
+		rec, body := get(t, s, u)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", u, rec.Code, body)
+		}
+		if err := json.Unmarshal(body, &want[i]); err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				i := (w + r) % len(urls)
+				req := httptest.NewRequest(http.MethodGet, urls[i], nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d: %s: status %d", w, urls[i], rec.Code)
+					return
+				}
+				var got QueryResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+					errs <- fmt.Errorf("worker %d: %s: %v", w, urls[i], err)
+					return
+				}
+				if !reflect.DeepEqual(got.Paths, want[i].Paths) {
+					errs <- fmt.Errorf("worker %d: %s: paths differ from single-threaded answer", w, urls[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestParallelismMatchesSequential: the same query answered with and
+// without intra-query parallelism must be byte-identical on the wire.
+func TestParallelismMatchesSequential(t *testing.T) {
+	seq, _ := testServer(t)
+	par, _ := testServer(t, WithParallelism(8))
+	const u = "/query?sourceCategory=start&category=hotel&k=10"
+	_, wantBody := get(t, seq, u)
+	_, gotBody := get(t, par, u)
+	if string(gotBody) == "" || len(wantBody) == 0 {
+		t.Fatal("empty response")
+	}
+	var want, got QueryResponse
+	if err := json.Unmarshal(wantBody, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(gotBody, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Paths, want.Paths) {
+		t.Fatalf("parallel server paths differ:\n got %v\nwant %v", got.Paths, want.Paths)
+	}
+}

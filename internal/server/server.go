@@ -55,6 +55,15 @@ type Server struct {
 	// inflight, when non-nil, is the load-shedding semaphore for /query
 	// and /batch: requests beyond its capacity get 503 + Retry-After.
 	inflight chan struct{}
+	// parallelism fans each query's subspace searches across this many
+	// workers (<= 1 sequential). Results are identical either way.
+	parallelism int
+	// cacheSize configures the cross-request bound-table cache (0 =
+	// default capacity, < 0 = disabled).
+	cacheSize int
+	// cache, when non-nil, memoizes per-category landmark bound tables
+	// across requests. Shared by all handlers; safe for concurrent use.
+	cache *kpj.BoundsCache
 	// logf receives panic reports; defaults to log.Printf.
 	logf func(format string, args ...any)
 }
@@ -99,11 +108,28 @@ func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithParallelism fans each query's independent subspace searches across
+// up to n worker goroutines (n <= 1 runs sequentially). The answer to
+// every query is identical at every setting; only latency changes.
+func WithParallelism(n int) Option {
+	return func(s *Server) { s.parallelism = n }
+}
+
+// WithBoundsCacheSize sizes the cross-request cache of per-category
+// landmark bound tables (entries). n == 0 keeps the default capacity,
+// n < 0 disables the cache. Only effective when an index is configured.
+func WithBoundsCacheSize(n int) Option {
+	return func(s *Server) { s.cacheSize = n }
+}
+
 // New builds a Server over g with an optional landmark index.
 func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
 	s := &Server{g: g, ix: ix, mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
 	for _, o := range opts {
 		o(s)
+	}
+	if ix != nil && s.cacheSize >= 0 {
+		s.cache = kpj.NewBoundsCache(s.cacheSize)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
@@ -286,7 +312,8 @@ func (s *Server) parseQuery(get func(string) string, withStats bool) (queryParam
 	if !ok {
 		return p, fmt.Errorf("unknown alg %q", get("alg"))
 	}
-	p.opt = &kpj.Options{Algorithm: algo, Index: s.ix}
+	p.opt = &kpj.Options{Algorithm: algo, Index: s.ix,
+		Parallelism: s.parallelism, BoundsCache: s.cache}
 	if as := get("alpha"); as != "" {
 		alpha, err := strconv.ParseFloat(as, 64)
 		if err != nil || alpha <= 1 {
@@ -405,7 +432,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	results := s.g.BatchContext(ctx, queries, 0, &kpj.Options{Index: s.ix, Budget: s.budget})
+	// Batches parallelize across queries (one worker per core); stacking
+	// intra-query parallelism on top would oversubscribe, so it stays off.
+	results := s.g.BatchContext(ctx, queries, 0, &kpj.Options{
+		Index: s.ix, Budget: s.budget, BoundsCache: s.cache})
 	out := make([]BatchResponseItem, len(items))
 	for i := range items {
 		switch {

@@ -37,6 +37,10 @@ type Config struct {
 	K int
 	// Seed makes sampling and landmark selection deterministic.
 	Seed int64
+	// Parallelism fans each sample query's subspace searches and the
+	// landmark-build Dijkstras across workers (<= 1 sequential). Costs are
+	// identical at every level, so tuning results do not depend on it.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +98,7 @@ func Tune(g *graph.Graph, targets []graph.NodeID, cfg Config) (Result, error) {
 	for _, count := range cfg.LandmarkCounts {
 		var ix *landmark.Index
 		if count > 0 {
-			ix, err = landmark.Build(g, count, cfg.Seed)
+			ix, err = landmark.BuildParallel(g, count, cfg.Seed, cfg.Parallelism)
 			if err != nil {
 				return Result{}, err
 			}
@@ -109,6 +113,7 @@ func Tune(g *graph.Graph, targets []graph.NodeID, cfg Config) (Result, error) {
 				q := core.Query{Sources: []graph.NodeID{s}, Targets: targets, K: cfg.K}
 				if _, err := core.IterBoundSPTI(g, q, core.Options{
 					Index: ix, Alpha: alpha, Workspace: ws, Stats: &st,
+					Parallelism: cfg.Parallelism,
 				}); err != nil {
 					return Result{}, fmt.Errorf("tuner: |L|=%d alpha=%v: %w", count, alpha, err)
 				}

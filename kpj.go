@@ -21,7 +21,9 @@ package kpj
 
 import (
 	"io"
+	"sync"
 
+	"kpj/internal/core"
 	"kpj/internal/graph"
 )
 
@@ -38,6 +40,17 @@ const Infinity = graph.Infinity
 // Queries are safe for concurrent use; AddCategory is not.
 type Graph struct {
 	g *graph.Graph
+	// ws recycles query workspaces (the O(n) scratch arrays) across the
+	// single-query API, batch workers, and intra-query worker pools, so
+	// the server's hot path stops paying an O(n) allocation per request.
+	ws sync.Pool
+}
+
+// newGraph wraps an internal graph and wires up its workspace pool.
+func newGraph(ig *graph.Graph) *Graph {
+	g := &Graph{g: ig}
+	g.ws.New = func() any { return core.NewWorkspace(ig.NumNodes() + 2) }
+	return g
 }
 
 // Builder accumulates edges for a Graph. Create one with NewBuilder; the
@@ -87,7 +100,7 @@ func (b *Builder) Build() (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g), nil
 }
 
 // NumNodes returns the number of nodes.
@@ -119,7 +132,7 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g), nil
 }
 
 // WriteGraph writes the graph in DIMACS ".gr" format.

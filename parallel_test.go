@@ -1,0 +1,263 @@
+package kpj_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kpj"
+)
+
+// randomDigraph builds a connected-ish random sparse directed graph: a
+// random cycle backbone (so everything is reachable) plus extra random
+// arcs, with varied weights that create plenty of near-tied paths.
+func randomDigraph(t testing.TB, n, extra int, seed int64) *kpj.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := kpj.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := range perm {
+		u, v := kpj.NodeID(perm[i]), kpj.NodeID(perm[(i+1)%n])
+		b.AddEdge(u, v, kpj.Weight(1+rng.Int63n(20)))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := kpj.NodeID(rng.Intn(n)), kpj.NodeID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, kpj.Weight(1+rng.Int63n(20)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// parallelConfigs is every algorithm the determinism contract covers: the
+// six Options.Algorithm values with a landmark index, plus the flagship
+// without one (the paper's IterBoundI-NL variant) — seven engines total.
+func parallelConfigs() []struct {
+	name    string
+	alg     kpj.Algorithm
+	indexed bool
+} {
+	return []struct {
+		name    string
+		alg     kpj.Algorithm
+		indexed bool
+	}{
+		{"IterBoundI", kpj.IterBoundSPTI, true},
+		{"IterBoundP", kpj.IterBoundSPTP, true},
+		{"IterBound", kpj.IterBound, true},
+		{"BestFirst", kpj.BestFirst, true},
+		{"DA", kpj.DA, false},
+		{"DA-SPT", kpj.DASPT, false},
+		{"IterBoundI-NL", kpj.IterBoundSPTI, false},
+	}
+}
+
+// TestParallelDeterminism: for every algorithm, on random graphs, the
+// full result sequence at Parallelism 2, 4, and 8 must be byte-identical
+// to the sequential one — same paths, same order, including ties.
+func TestParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := randomDigraph(t, 150, 600, seed)
+		ix, err := kpj.BuildIndex(g, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 1000))
+		sources := []kpj.NodeID{kpj.NodeID(rng.Intn(g.NumNodes()))}
+		targets := make([]kpj.NodeID, 0, 8)
+		for len(targets) < 8 {
+			targets = append(targets, kpj.NodeID(rng.Intn(g.NumNodes())))
+		}
+		for _, cfg := range parallelConfigs() {
+			opt := kpj.Options{Algorithm: cfg.alg}
+			if cfg.indexed {
+				opt.Index = ix
+			}
+			seqOpt := opt
+			seqOpt.Parallelism = 1
+			want, err := g.TopKJoinSets(sources, targets, 40, &seqOpt)
+			if err != nil {
+				t.Fatalf("seed %d %s: sequential: %v", seed, cfg.name, err)
+			}
+			for _, p := range []int{2, 4, 8} {
+				parOpt := opt
+				parOpt.Parallelism = p
+				got, err := g.TopKJoinSets(sources, targets, 40, &parOpt)
+				if err != nil {
+					t.Fatalf("seed %d %s P=%d: %v", seed, cfg.name, p, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d %s P=%d: result differs from sequential\n got %v\nwant %v",
+						seed, cfg.name, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBudgetPrefix extends the bounded-execution contract to
+// parallel runs: under any budget, a parallel query's partial results
+// must be an exact prefix of the unbounded sequential answer. (The
+// truncation point may differ between parallelism levels — workers share
+// one budget pool — but what is emitted may never deviate.)
+func TestParallelBudgetPrefix(t *testing.T) {
+	g := boundGrid(t, 12, 12)
+	src := []kpj.NodeID{0}
+	dst := []kpj.NodeID{kpj.NodeID(g.NumNodes() - 1)}
+	const k = 30
+	for _, alg := range boundAlgorithms {
+		full, err := g.TopKJoinSets(src, dst, k, &kpj.Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: unbounded query failed: %v", alg, err)
+		}
+		for _, p := range []int{2, 4} {
+			sawTruncation := false
+			for budget := int64(1); budget <= 1<<22; budget *= 4 {
+				paths, err := g.TopKJoinSets(src, dst, k,
+					&kpj.Options{Algorithm: alg, Budget: budget, Parallelism: p})
+				if err == nil {
+					if len(paths) != k {
+						t.Fatalf("%v P=%d budget=%d: nil error but only %d paths", alg, p, budget, len(paths))
+					}
+					continue
+				}
+				sawTruncation = true
+				if !errors.Is(err, kpj.ErrBudgetExceeded) {
+					t.Fatalf("%v P=%d budget=%d: err = %v, want ErrBudgetExceeded", alg, p, budget, err)
+				}
+				for i, path := range paths {
+					if path.Length != full[i].Length {
+						t.Fatalf("%v P=%d budget=%d: path %d has length %d, full answer has %d — not a prefix",
+							alg, p, budget, i, path.Length, full[i].Length)
+					}
+				}
+			}
+			if !sawTruncation {
+				t.Errorf("%v P=%d: no budget in the sweep truncated the query", alg, p)
+			}
+		}
+	}
+}
+
+// TestBoundsCache: cached queries return identical results and repeat
+// queries against the same category hit instead of recomputing.
+func TestBoundsCache(t *testing.T) {
+	g := randomDigraph(t, 120, 500, 3)
+	ix, err := kpj.BuildIndex(g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []kpj.NodeID{5, 17, 44, 90}
+	sources := []kpj.NodeID{2}
+	want, err := g.TopKJoinSets(sources, targets, 25, &kpj.Options{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := kpj.NewBoundsCache(8)
+	for i := 0; i < 3; i++ {
+		got, err := g.TopKJoinSets(sources, targets, 25,
+			&kpj.Options{Index: ix, BoundsCache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: cached result differs from uncached", i)
+		}
+	}
+	hits, misses, size := cache.Stats()
+	if hits == 0 {
+		t.Errorf("no cache hits after repeated queries (misses=%d size=%d)", misses, size)
+	}
+}
+
+// TestBatchTraceMerge: a traced batch must produce, regardless of worker
+// scheduling, each item's full sequential trace under a "batch item #i"
+// header, in input order.
+func TestBatchTraceMerge(t *testing.T) {
+	g := cityGrid(t, 15, 15, 9)
+	targets := []kpj.NodeID{10, 101, 210}
+	queries := make([]kpj.BatchQuery, 6)
+	for i := range queries {
+		queries[i] = kpj.BatchQuery{
+			Sources: []kpj.NodeID{kpj.NodeID(i * 31)},
+			Targets: targets,
+			K:       5,
+		}
+	}
+	var batchTrace bytes.Buffer
+	results := g.Batch(queries, 4, &kpj.Options{Trace: &batchTrace})
+	var want bytes.Buffer
+	for i, q := range queries {
+		if results[i].Err != nil {
+			t.Fatalf("item %d: %v", i, results[i].Err)
+		}
+		fmt.Fprintf(&want, "batch item #%d\n", i)
+		var one bytes.Buffer
+		if _, err := g.TopKJoinSets(q.Sources, q.Targets, q.K, &kpj.Options{Trace: &one}); err != nil {
+			t.Fatalf("sequential item %d: %v", i, err)
+		}
+		want.Write(one.Bytes())
+	}
+	if batchTrace.String() != want.String() {
+		t.Fatalf("batch trace differs from per-item sequential traces\n got:\n%s\nwant:\n%s",
+			batchTrace.String(), want.String())
+	}
+}
+
+// TestBoundsCacheConcurrent hammers one cache from many goroutines
+// running parallel queries against overlapping categories — the shape a
+// server under load produces. Run with -race; every result must match
+// the uncached sequential answer.
+func TestBoundsCacheConcurrent(t *testing.T) {
+	g := randomDigraph(t, 100, 400, 11)
+	ix, err := kpj.BuildIndex(g, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := [][]kpj.NodeID{
+		{3, 9, 27, 81},
+		{5, 25, 50, 75},
+		{8, 16, 32, 64},
+	}
+	want := make([][]kpj.Path, len(cats))
+	for i, targets := range cats {
+		if want[i], err = g.TopKJoinSets([]kpj.NodeID{1}, targets, 15, &kpj.Options{Index: ix}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := kpj.NewBoundsCache(2) // smaller than the working set: forces eviction churn
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				i := (w + r) % len(cats)
+				got, err := g.TopKJoinSets([]kpj.NodeID{1}, cats[i], 15,
+					&kpj.Options{Index: ix, BoundsCache: cache, Parallelism: 2})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					errs <- fmt.Errorf("worker %d round %d: cached result differs", w, r)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -96,7 +96,38 @@ type Options struct {
 	// ErrBudgetExceeded. Budgets make worst-case latency proportional to
 	// the budget regardless of graph size, k, or query difficulty.
 	Budget int64
+	// Parallelism fans the independent subspace searches of one query
+	// across up to this many worker goroutines — intra-query parallelism,
+	// complementary to Batch's across-query parallelism. Values <= 1 run
+	// sequentially. The emitted path sequence is identical at every
+	// parallelism level, and Context/Budget still bound the total work of
+	// all workers together.
+	Parallelism int
+	// BoundsCache, when non-nil, caches the per-category landmark bound
+	// tables (the paper's Eq. 2 precomputation) across queries, so a
+	// workload that repeatedly targets the same categories skips the
+	// O(|L|·|V_T|) per-query rebuild. See NewBoundsCache. Ignored without
+	// an Index.
+	BoundsCache *BoundsCache
 }
+
+// BoundsCache is a concurrency-safe LRU cache of per-category landmark
+// bound tables, shared across queries (and safely across goroutines) via
+// Options.BoundsCache. Entries are keyed by the index's content
+// fingerprint plus the exact node set, so swapping in a rebuilt or
+// reloaded index never serves stale tables — old entries simply age out.
+type BoundsCache struct {
+	c *landmark.SetBoundsCache
+}
+
+// NewBoundsCache returns a cache holding at most capacity category tables
+// (capacity <= 0 picks a default of 128).
+func NewBoundsCache(capacity int) *BoundsCache {
+	return &BoundsCache{c: landmark.NewSetBoundsCache(capacity)}
+}
+
+// Stats reports cumulative cache hits, misses, and current size.
+func (c *BoundsCache) Stats() (hits, misses int64, size int) { return c.c.Stats() }
 
 // Index is a prebuilt landmark (ALT) lower-bound index over one Graph. It
 // is immutable and safe for concurrent use, and is valid only for the
@@ -107,9 +138,17 @@ type Index struct {
 
 // BuildIndex selects `count` landmarks by the farthest-point heuristic
 // (the paper uses 16) and precomputes their distance tables in
-// O(count · (m + n log n)) time and O(count · n) space.
+// O(count · (m + n log n)) time and O(count · n) space, using all cores
+// for the independent per-landmark Dijkstras.
 func BuildIndex(g *Graph, count int, seed int64) (*Index, error) {
-	ix, err := landmark.Build(g.g, count, seed)
+	return BuildIndexParallel(g, count, seed, 0)
+}
+
+// BuildIndexParallel is BuildIndex with an explicit worker count for the
+// construction Dijkstras (<= 0 means all cores). The produced index is
+// identical at every parallelism level.
+func BuildIndexParallel(g *Graph, count int, seed int64, parallelism int) (*Index, error) {
+	ix, err := landmark.BuildParallel(g.g, count, seed, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -146,14 +185,19 @@ func (o *Options) coreOptions(g *Graph) (core.Options, core.Func, error) {
 		opt.Stats = o.Stats
 		opt.Context = o.Context
 		opt.Budget = o.Budget
+		opt.Parallelism = o.Parallelism
 		if o.Index != nil {
 			opt.Index = o.Index.ix
+		}
+		if o.BoundsCache != nil {
+			opt.SetBounds = o.BoundsCache.c
 		}
 		if o.Trace != nil {
 			opt.Trace = traceWriter(o.Trace, g.NumNodes())
 		}
 		algo = o.Algorithm
 	}
+	opt.Workspaces = workspacePool{g}
 	var fn core.Func
 	switch algo {
 	case IterBoundSPTI:
@@ -187,8 +231,29 @@ func (g *Graph) TopKJoinSets(sources, targets []NodeID, k int, opt *Options) ([]
 	if err != nil {
 		return nil, err
 	}
+	pool := workspacePool{g}
+	copt.Workspace = pool.Get(g.NumNodes() + 2)
+	defer pool.Put(copt.Workspace)
 	q := core.Query{Sources: dedupe(sources), Targets: dedupe(targets), K: k}
 	return finishQuery(fn(g.g, q, copt))
+}
+
+// workspacePool adapts the Graph's sync.Pool of workspaces to
+// core.WorkspacePool, serving both the single-query hot path and the
+// per-worker scratch of parallel queries and batches.
+type workspacePool struct{ g *Graph }
+
+func (p workspacePool) Get(n int) *core.Workspace {
+	ws := p.g.ws.Get().(*core.Workspace)
+	if !ws.Fits(n) {
+		return core.NewWorkspace(n)
+	}
+	return ws
+}
+
+func (p workspacePool) Put(ws *core.Workspace) {
+	ws.DetachBound()
+	p.g.ws.Put(ws)
 }
 
 // TopKJoinSetsContext is TopKJoinSets bound to ctx: it overrides

@@ -1,0 +1,186 @@
+// Command kpjlint is the project's static-analysis suite: five custom
+// analyzers (mapiter, nondeterm, boundcheck, errwrap, atomicmix) that
+// machine-check the engine's determinism, budget, and error-contract
+// invariants (see DESIGN.md "Invariants and kpjlint").
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation
+// is
+//
+//	go build -o /tmp/kpjlint ./cmd/kpjlint
+//	go vet -vettool=/tmp/kpjlint ./...
+//
+// and it also runs standalone on package patterns (loading packages
+// itself through `go list -export`):
+//
+//	go run ./cmd/kpjlint ./...
+//
+// Individual analyzers toggle with -NAME=false (or run an exclusive
+// subset with -NAME). Findings print as file:line:col: message and make
+// the exit status non-zero. Escape hatches are the //kpjlint: directive
+// comments documented in DESIGN.md.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kpj/internal/analysis"
+	"kpj/internal/analysis/atomicmix"
+	"kpj/internal/analysis/boundcheck"
+	"kpj/internal/analysis/errwrap"
+	"kpj/internal/analysis/loadpkg"
+	"kpj/internal/analysis/mapiter"
+	"kpj/internal/analysis/nondeterm"
+	"kpj/internal/analysis/vetdriver"
+)
+
+var suite = []*analysis.Analyzer{
+	mapiter.Analyzer,
+	nondeterm.Analyzer,
+	boundcheck.Analyzer,
+	errwrap.Analyzer,
+	atomicmix.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kpjlint: ")
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	enabled := make(map[string]*string, len(suite))
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = flag.String(a.Name, "", "enable/disable: "+doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kpjlint [flags] [packages | unit.cfg]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		return
+	}
+
+	analyzers := selectAnalyzers(enabled)
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		vetdriver.Run(args[0], analyzers)
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	standalone(args, analyzers)
+}
+
+// selectAnalyzers applies the -NAME flags with go vet's semantics: any
+// -NAME=true runs only the named subset; otherwise -NAME=false drops
+// the named ones.
+func selectAnalyzers(enabled map[string]*string) []*analysis.Analyzer {
+	set := map[string]bool{}
+	var hasTrue bool
+	for name, v := range enabled {
+		switch *v {
+		case "":
+			continue
+		case "true", "1", "t":
+			set[name] = true
+			hasTrue = true
+		case "false", "0", "f":
+			set[name] = false
+		default:
+			log.Fatalf("invalid boolean value %q for -%s", *v, name)
+		}
+	}
+	var keep []*analysis.Analyzer
+	for _, a := range suite {
+		on, named := set[a.Name]
+		if hasTrue && (!named || !on) {
+			continue
+		}
+		if named && !on {
+			continue
+		}
+		keep = append(keep, a)
+	}
+	return keep
+}
+
+// printFlags emits the flag description JSON `go vet` consumes to learn
+// which flags it may forward to the tool.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// standalone loads the pattern-matched packages itself and analyzes
+// them, printing findings to stderr; exit status 1 reports findings.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) {
+	pkgs, err := loadpkg.LoadTargets("", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags := vetdriver.Analyze(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", p.Fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// versionFlag implements the -V=full protocol `go vet` uses for build
+// caching: print "<name> version devel buildID=<content hash>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(exe), h.Sum(nil))
+	os.Exit(0)
+	return nil
+}

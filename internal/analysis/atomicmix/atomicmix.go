@@ -1,0 +1,123 @@
+// Package atomicmix defines the kpjlint analyzer that flags variables
+// accessed both atomically and plainly — the shared budget pool's
+// failure mode: one goroutine draining a counter through
+// atomic.AddInt64 while another reads it with a plain load is a data
+// race the race detector only catches when the interleaving happens.
+// Within one package it collects every variable (struct field or
+// package-level var) whose address is passed to a sync/atomic function
+// and then reports any other, non-atomic read or write of the same
+// variable. Types like atomic.Int64 are immune by construction and
+// preferred (core.boundShare uses them); this analyzer guards the
+// old-style mixed pattern. Intentional mixes (e.g. a plain read after a
+// WaitGroup barrier) carry //kpjlint:deterministic with the argument.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kpj/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags variables accessed both through sync/atomic and plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// First pass: variables whose address feeds a sync/atomic call, and
+	// the exact selector/ident nodes consumed by those calls.
+	atomicVars := map[*types.Var]bool{}
+	atomicUses := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if v := resolveVar(pass, target); v != nil {
+					atomicVars[v] = true
+					atomicUses[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Second pass: any other access to those variables is plain.
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if atomicUses[n] {
+				return false
+			}
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			v := resolveVar(pass, expr)
+			if v == nil || !atomicVars[v] {
+				return true
+			}
+			if pass.Annotated(n, analysis.Deterministic) {
+				return false
+			}
+			pass.Reportf(n.Pos(), "%s is accessed atomically elsewhere; this plain access races with it (use sync/atomic or an atomic.* type)", v.Name())
+			return false
+		})
+	}
+	return nil
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// resolveVar maps an expression to the struct field or package-level
+// variable it denotes, or nil. Local variables are excluded: passing a
+// local's address to sync/atomic and also using it plainly in the same
+// function is visible to the race detector's happens-before analysis
+// and, more importantly, rarely crosses goroutines.
+func resolveVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if selv, ok := pass.TypesInfo.Selections[e]; ok {
+			if v, ok := selv.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified package-level var (pkg.Counter).
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && isPackageLevel(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

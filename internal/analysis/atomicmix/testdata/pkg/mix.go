@@ -1,0 +1,57 @@
+// Testdata for the atomicmix analyzer (it applies in every package).
+package pkg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type pool struct {
+	remaining int64
+	limit     int64 // never touched atomically
+	wg        sync.WaitGroup
+}
+
+func (p *pool) draw(n int64) int64 {
+	return atomic.AddInt64(&p.remaining, -n)
+}
+
+func (p *pool) loadAtomic() int64 {
+	return atomic.LoadInt64(&p.remaining)
+}
+
+func (p *pool) leakPlainRead() int64 {
+	return p.remaining // want `accessed atomically elsewhere`
+}
+
+func (p *pool) leakPlainWrite() {
+	p.remaining = 0 // want `accessed atomically elsewhere`
+}
+
+func (p *pool) limitOK() int64 {
+	return p.limit
+}
+
+func (p *pool) afterBarrier() int64 {
+	p.wg.Wait()
+	//kpjlint:deterministic all writers joined by the barrier above
+	return p.remaining
+}
+
+var spins int64
+
+func spin() {
+	atomic.AddInt64(&spins, 1)
+}
+
+func spinCount() int64 {
+	return spins // want `accessed atomically elsewhere`
+}
+
+type typed struct {
+	n atomic.Int64 // atomic.* types are immune by construction
+}
+
+func (t *typed) bump() int64 {
+	return t.n.Add(1)
+}

@@ -1,0 +1,126 @@
+// Package boundcheck defines the kpjlint analyzer that keeps unbounded
+// work out of the engine's hot paths: in the search packages
+// (internal/core, internal/sssp, internal/deviation) every heap-pop
+// loop — a `for` statement that pops a priority queue — must consult
+// the query's interruption state on each iteration, by calling a method
+// of core.Bound (Step, Work, or Err) or an equivalent cancellation poll
+// (the sssp package's `canceled` helper), so deadlines and work budgets
+// cut every loop (PR 1's partial-result contract). A loop whose work is
+// bounded by construction carries //kpjlint:bounded with the argument.
+package boundcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kpj/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "boundcheck",
+	Doc:  "flags heap-pop loops in search packages that neither consult a core.Bound (Step/Work/Err) nor carry //kpjlint:bounded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SearchPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if !isHeapPopLoop(loop) {
+				return true
+			}
+			if pass.Annotated(loop, analysis.Bounded) {
+				return true
+			}
+			if consultsBound(pass, loop) {
+				return true
+			}
+			pass.Reportf(loop.Pos(), "heap-pop loop without a Bound check; call Bound.Step/Err each iteration or annotate //kpjlint:bounded")
+			return true
+		})
+	}
+	return nil
+}
+
+// isHeapPopLoop reports whether the for statement's own iteration pops
+// a priority queue: a call to a method named Pop in its condition or
+// directly in its body (not inside a nested for loop, which is checked
+// on its own).
+func isHeapPopLoop(loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				return false // nested loops/closures judged separately
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Pop" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	check(loop.Cond)
+	check(loop.Body)
+	return found
+}
+
+// consultsBound reports whether the loop body (including nested
+// statements and closures it invokes inline) calls a method of a type
+// named Bound — Step, Work, or Err — or a cancellation poll helper
+// named `canceled`.
+func consultsBound(pass *analysis.Pass, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if boundMethod(pass, fun) {
+				found = true
+			}
+		case *ast.Ident:
+			if fun.Name == "canceled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func boundMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Step", "Work", "Err":
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isBoundType(tv.Type)
+}
+
+func isBoundType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Bound"
+}

@@ -1,0 +1,16 @@
+package boundcheck_test
+
+import (
+	"testing"
+
+	"kpj/internal/analysis/analysistest"
+	"kpj/internal/analysis/boundcheck"
+)
+
+func TestBoundcheck(t *testing.T) {
+	analysistest.Run(t, boundcheck.Analyzer, "testdata/core", "kpj/internal/core")
+}
+
+func TestUnscoped(t *testing.T) {
+	analysistest.Run(t, boundcheck.Analyzer, "testdata/unscoped", "kpj/internal/pqueue")
+}

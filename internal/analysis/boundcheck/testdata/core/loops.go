@@ -1,0 +1,95 @@
+// Testdata for the boundcheck analyzer, type-checked under the search
+// package import path kpj/internal/core. Bound and queue stand in for
+// core.Bound and the pqueue types: the analyzer matches Bound by type
+// name so the testdata stays stdlib-only.
+package core
+
+// Bound mirrors core.Bound's interruption surface.
+type Bound struct{}
+
+func (b *Bound) Step() error  { return nil }
+func (b *Bound) Err() error   { return nil }
+func (b *Bound) Work(n int64) {}
+
+type queue struct{ keys []int }
+
+func (q *queue) Len() int { return len(q.keys) }
+func (q *queue) Pop() (int, int) {
+	k := q.keys[0]
+	q.keys = q.keys[1:]
+	return k, k
+}
+
+func stepped(q *queue, b *Bound) {
+	for q.Len() > 0 {
+		if b.Step() != nil {
+			return
+		}
+		q.Pop()
+	}
+}
+
+func errPolled(q *queue, b *Bound) {
+	for q.Len() > 0 {
+		if b.Err() != nil {
+			return
+		}
+		q.Pop()
+	}
+}
+
+func unbounded(q *queue) int {
+	total := 0
+	for q.Len() > 0 { // want `heap-pop loop without a Bound check`
+		v, _ := q.Pop()
+		total += v
+	}
+	return total
+}
+
+// docAnnotated's caller charges the Bound per drained batch.
+//
+//kpjlint:bounded drains at most the entries present at entry
+func docAnnotated(q *queue) {
+	for q.Len() > 0 {
+		q.Pop()
+	}
+}
+
+func lineAnnotated(q *queue) {
+	//kpjlint:bounded pops a constant number of entries
+	for i := 0; i < 8 && q.Len() > 0; i++ {
+		q.Pop()
+	}
+}
+
+func canceled() error { return nil }
+
+func cancelPolled(q *queue) {
+	for q.Len() > 0 {
+		if canceled() != nil {
+			return
+		}
+		q.Pop()
+	}
+}
+
+func notAPopLoop(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+func nestedInnerUnbounded(q *queue, b *Bound) {
+	for q.Len() > 0 {
+		if b.Step() != nil {
+			return
+		}
+		q.Pop()
+		for q.Len() > 3 { // want `heap-pop loop without a Bound check`
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Testdata for the boundcheck analyzer under an import path outside the
+// search packages (the pqueue implementation itself may pop freely):
+// nothing here may be flagged.
+package unscoped
+
+type queue struct{ keys []int }
+
+func (q *queue) Len() int { return len(q.keys) }
+func (q *queue) Pop() (int, int) {
+	k := q.keys[0]
+	q.keys = q.keys[1:]
+	return k, k
+}
+
+func drain(q *queue) {
+	for q.Len() > 0 {
+		q.Pop()
+	}
+}

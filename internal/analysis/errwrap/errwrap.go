@@ -1,0 +1,143 @@
+// Package errwrap defines the kpjlint analyzer enforcing the repo's
+// error contract (PR 1): interruption errors wrap the ErrCanceled /
+// ErrBudgetExceeded sentinels, and callers recognize them with
+// errors.Is — never ==, which breaks the moment a sentinel is wrapped
+// with context (as Bound always does). Concretely it flags
+//
+//   - fmt.Errorf calls that pass an error argument but use no %w verb,
+//     discarding the chain errors.Is needs; and
+//   - == / != comparisons (and switch cases) against package-level
+//     error sentinels.
+//
+// Comparisons against nil are idiomatic and exempt. There is no
+// annotation escape: a hit is a contract violation and should be fixed.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kpj/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "flags fmt.Errorf that drops error arguments (no %w) and ==/!= comparisons against error sentinels (use errors.Is)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, n.Pos(), n.X, n.Y)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// checkErrorf flags fmt.Errorf("...", err) where the constant format
+// string contains no %w: the error argument's chain is flattened into
+// text and errors.Is can no longer see through it.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: cannot judge
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if atv, ok := pass.TypesInfo.Types[arg]; ok && isErrorType(atv.Type) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error argument without %%w; the cause is lost to errors.Is")
+			return
+		}
+	}
+}
+
+// sentinel resolves expr to a package-level variable of type error (an
+// error sentinel such as ErrCanceled), returning its name.
+func sentinel(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return "", false
+	}
+	// Package-level: its parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+func checkComparison(pass *analysis.Pass, pos token.Pos, x, y ast.Expr) {
+	for _, e := range []ast.Expr{x, y} {
+		if name, ok := sentinel(pass, e); ok {
+			pass.Reportf(pos, "comparison against error sentinel %s; use errors.Is so wrapped interruption errors still match", name)
+			return
+		}
+	}
+}
+
+// checkSwitch flags `switch err { case ErrCanceled: }`, the switch
+// spelling of the same broken comparison.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinel(pass, e); ok {
+				pass.Reportf(e.Pos(), "switch case compares error sentinel %s by identity; use errors.Is so wrapped interruption errors still match", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"kpj/internal/analysis/analysistest"
+	"kpj/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "testdata/pkg", "kpj/internal/server")
+}

@@ -1,0 +1,64 @@
+// Testdata for the errwrap analyzer (it applies in every package).
+package pkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrCanceled       = errors.New("canceled")
+	ErrBudgetExceeded = errors.New("budget exceeded")
+)
+
+func wrapFlattened(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want `without %w`
+}
+
+func wrapFlattenedS(err error) error {
+	return fmt.Errorf("query failed: %s", err) // want `without %w`
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+func wrapSentinelWithDetail(err error) error {
+	// The sentinel is wrapped; flattening the secondary cause is the
+	// documented contract (callers match the sentinel, not the detail).
+	return fmt.Errorf("%w: %v", ErrCanceled, err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad k %d", n)
+}
+
+func compareEq(err error) bool {
+	return err == ErrCanceled // want `use errors.Is`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBudgetExceeded // want `use errors.Is`
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrCanceled)
+}
+
+func compareNil(err error) bool {
+	return err == nil
+}
+
+func compareLocals(err, prev error) bool {
+	return err == prev // locals are not sentinels
+}
+
+func switchIdentity(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrCanceled: // want `use errors.Is`
+		return "canceled"
+	}
+	return "other"
+}

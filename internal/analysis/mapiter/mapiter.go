@@ -1,0 +1,128 @@
+// Package mapiter defines the kpjlint analyzer that flags `range` over
+// maps in output-ordering-sensitive packages. Go randomizes map
+// iteration order, so a map range whose iteration order can reach the
+// emitted path sequence breaks the engine's bit-identical-output
+// guarantee (DESIGN.md §8). A loop is accepted when its results
+// demonstrably feed a sort in the same block, when it binds no
+// iteration variables (pure counting), or when it carries a
+// //kpjlint:deterministic annotation explaining why order cannot leak.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kpj/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags range over maps in output-ordering-sensitive packages unless the loop feeds a sort or is annotated //kpjlint:deterministic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.OrderSensitive(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		checkBlocks(pass, f)
+	}
+	return nil
+}
+
+// checkBlocks walks every statement list (block bodies, case clauses)
+// so a flagged range loop can be excused by a later sort in the same
+// list.
+func checkBlocks(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var stmts []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			stmts = n.List
+		case *ast.CaseClause:
+			stmts = n.Body
+		case *ast.CommClause:
+			stmts = n.Body
+		default:
+			return true
+		}
+		for i, s := range stmts {
+			rng, ok := s.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass, rng) {
+				continue
+			}
+			if rng.Key == nil && rng.Value == nil {
+				continue // `for range m {}`: iteration count only
+			}
+			if pass.Annotated(rng, analysis.Deterministic) {
+				continue
+			}
+			if feedsSort(rng, stmts[i+1:]) {
+				continue
+			}
+			pass.Reportf(rng.Pos(), "range over map in order-sensitive package %s; sort the results or annotate //kpjlint:deterministic", pass.Pkg.Path())
+		}
+		return true
+	})
+}
+
+func rangesOverMap(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// feedsSort reports whether the loop body or any later statement in the
+// same block calls a sort.* / slices.Sort* function — the idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//
+// that restores determinism.
+func feedsSort(rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	if containsSortCall(rng.Body) {
+		return true
+	}
+	for _, s := range rest {
+		if containsSortCall(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSortCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch pkg.Name {
+		case "sort":
+			found = true
+		case "slices":
+			name := sel.Sel.Name
+			if len(name) >= 4 && (name[:4] == "Sort" || name == "Compact" || len(name) >= 6 && name[:6] == "Sorted") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,18 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"kpj/internal/analysis/analysistest"
+	"kpj/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/core", "kpj/internal/core")
+}
+
+// TestUnscoped checks the package predicate: identical map ranges in a
+// package outside the order-sensitive set produce no diagnostics.
+func TestUnscoped(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/unscoped", "kpj/internal/graph")
+}

@@ -1,0 +1,85 @@
+// Testdata for the mapiter analyzer, type-checked under the
+// order-sensitive import path kpj/internal/core.
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+func sumDirect(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want `range over map in order-sensitive package`
+		_ = k
+		total += v
+	}
+	return total
+}
+
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keysSlicesSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func sortInsideLoop(m map[string][]int) {
+	for _, vs := range m {
+		sort.Ints(vs)
+	}
+}
+
+func annotated(m map[string]int) int {
+	total := 0
+	//kpjlint:deterministic summation is commutative, order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func unsortedAfterOtherWork(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map in order-sensitive package`
+		keys = append(keys, k)
+	}
+	keys = append(keys, "sentinel")
+	return keys
+}
+
+type wrapped map[int]bool
+
+func namedMapType(m wrapped) []int {
+	var out []int
+	for k := range m { // want `range over map in order-sensitive package`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Testdata for the mapiter analyzer, type-checked under an import path
+// that is NOT order-sensitive: nothing here may be flagged.
+package unscoped
+
+func sumDirect(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+// Package nondeterm defines the kpjlint analyzer that flags sources of
+// scheduling- or time-dependent behavior in output-ordering-sensitive
+// packages: time.Now/time.Since, math/rand global-source functions,
+// sync.Map (iteration and memory-model semantics make it unsuitable for
+// anything the emitted path sequence depends on), and raw goroutine
+// spawns — intra-query concurrency must go through core.Pool, whose
+// merge discipline keeps output bit-identical at every parallelism
+// level (DESIGN.md §8). Seeded generators (rand.New(rand.NewSource(s)))
+// are pure functions of the seed and stay allowed. Deliberate uses
+// carry //kpjlint:deterministic with a justification.
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kpj/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc:  "flags time.Now, math/rand global-source calls, sync.Map, and goroutine spawns outside core.Pool in order-sensitive packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.OrderSensitive(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !pass.Annotated(n, analysis.Deterministic) {
+					pass.Reportf(n.Pos(), "goroutine spawn outside core.Pool in order-sensitive package %s; use core.Pool or annotate //kpjlint:deterministic", pass.Pkg.Path())
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectorExpr:
+				checkSyncMap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFunc resolves a call to (package path, function name) when its
+// callee is a package-level function of an imported package.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return "", ""
+	}
+	// Only package-qualified calls (time.Now), not method calls on a
+	// value (rng.Intn): methods have a receiver ident, not a package.
+	if id, ok := sel.X.(*ast.Ident); !ok {
+		return "", ""
+	} else if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	path, name := pkgFunc(pass, call)
+	switch path {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			if !pass.Annotated(call, analysis.Deterministic) {
+				pass.Reportf(call.Pos(), "time.%s in order-sensitive package %s; wall-clock must not influence output (annotate //kpjlint:deterministic if it provably cannot)", name, pass.Pkg.Path())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors of seeded generators are deterministic; every
+		// other package-level function draws from the global source.
+		if name == "New" || name == "NewSource" || name == "NewZipf" || name == "NewPCG" || name == "NewChaCha8" {
+			return
+		}
+		if !pass.Annotated(call, analysis.Deterministic) {
+			pass.Reportf(call.Pos(), "global-source rand.%s in order-sensitive package %s; use rand.New(rand.NewSource(seed)) so the draw is a pure function of the query", name, pass.Pkg.Path())
+		}
+	}
+}
+
+func checkSyncMap(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	if obj.Pkg().Path() == "sync" && obj.Name() == "Map" {
+		if !pass.Annotated(sel, analysis.Deterministic) {
+			pass.Reportf(sel.Pos(), "sync.Map in order-sensitive package %s; its iteration order and loose consistency cannot feed ordered output", pass.Pkg.Path())
+		}
+	}
+}

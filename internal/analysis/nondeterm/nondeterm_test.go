@@ -1,0 +1,16 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"kpj/internal/analysis/analysistest"
+	"kpj/internal/analysis/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, nondeterm.Analyzer, "testdata/core", "kpj/internal/core")
+}
+
+func TestUnscoped(t *testing.T) {
+	analysistest.Run(t, nondeterm.Analyzer, "testdata/unscoped", "kpj/internal/server")
+}

@@ -1,0 +1,57 @@
+// Testdata for the nondeterm analyzer, type-checked under the
+// order-sensitive import path kpj/internal/core.
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in order-sensitive package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in order-sensitive package`
+}
+
+func annotatedClock() int64 {
+	//kpjlint:deterministic feeds only the trace timestamp, never the output
+	return time.Now().UnixNano()
+}
+
+func timeValuesOK(d time.Duration) time.Time {
+	var t time.Time
+	return t.Add(d) // methods on time values are pure
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global-source rand.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global-source rand.Shuffle`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return rng.Intn(10)                   // methods on a seeded *Rand are allowed
+}
+
+type cache struct {
+	m sync.Map // want `sync.Map in order-sensitive package`
+}
+
+func spawn(f func()) {
+	go f() // want `goroutine spawn outside core.Pool`
+}
+
+func annotatedSpawn(f func(), done chan struct{}) {
+	//kpjlint:deterministic result is joined before any output is produced
+	go func() {
+		f()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,14 @@
+// Testdata for the nondeterm analyzer under an import path outside the
+// order-sensitive set: nothing here may be flagged (the server measures
+// wall-clock latency and spawns request goroutines by design).
+package unscoped
+
+import "time"
+
+func latency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func spawn(f func()) {
+	go f()
+}

@@ -75,6 +75,9 @@ func (opt *Options) NewPool(n int) *Pool {
 		}
 		ws.bound = bounds[i]
 		p.slots[i].ws = ws
+		//kpjlint:deterministic this IS core.Pool: workers only run tasks
+		// whose results are merged in task order, so scheduling never
+		// reaches the output.
 		go p.worker(i)
 	}
 	return p

@@ -90,6 +90,9 @@ func BuildParallel(g *graph.Graph, count int, seed int64, parallelism int) (*Ind
 	bwd := make([][]int32, count)
 	runBwd := func(i int, w graph.NodeID) {
 		wg.Add(1)
+		//kpjlint:deterministic each backward Dijkstra writes only bwd[i];
+		// the selection chain never reads bwd, so the produced index is
+		// identical at every parallelism level (see parallel_test.go).
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
@@ -198,6 +201,9 @@ func BuildWithLandmarksParallel(g *graph.Graph, landmarks []graph.NodeID, parall
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//kpjlint:deterministic workers claim table slots t and write only
+		// fwd[t]/bwd[t]; every table is a pure function of (g, ids[t]), so
+		// the index is identical at every parallelism level.
 		go func() {
 			defer wg.Done()
 			for {

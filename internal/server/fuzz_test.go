@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery drives the server's query parsing path with arbitrary
+// URL query strings: parsing must never panic, and every accepted query
+// must satisfy the invariants the handlers rely on (non-empty node
+// sets, 1 ≤ k ≤ maxK, alpha > 1 when set, budget > 0 when set).
+func FuzzParseQuery(f *testing.F) {
+	s, _ := testServer(f)
+
+	seeds := []string{
+		"source=0&target=35",
+		"sourceCategory=start&category=hotel&k=3",
+		"source=0&category=hotel&alg=BestFirst&alpha=1.5&stats=1",
+		"source=-1&target=99999",
+		"source=0&target=1&k=0",
+		"source=0&target=1&k=9999999",
+		"source=0&target=1&alpha=nan",
+		"source=0&target=1&budget=-5",
+		"sourceCategory=nope&target=1",
+		"source=0&source=1&target=2",
+		"source=0%00&target=1",
+		"alg=DA-SPT&source=0&target=1&budget=100",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		values, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not a well-formed query string; the mux rejects it earlier
+		}
+		withStats := values.Get("stats") == "1"
+		p, err := s.parseQuery(values.Get, withStats)
+		if err != nil {
+			// Rejections must be complete sentences usable in a 400 body.
+			if err.Error() == "" {
+				t.Fatalf("empty error for query %q", raw)
+			}
+			return
+		}
+		if len(p.sources) == 0 || len(p.targets) == 0 {
+			t.Fatalf("accepted query %q with empty node set", raw)
+		}
+		if p.k < 1 || p.k > s.maxK {
+			t.Fatalf("accepted query %q with k=%d outside [1,%d]", raw, p.k, s.maxK)
+		}
+		if p.opt == nil {
+			t.Fatalf("accepted query %q without options", raw)
+		}
+		if as := values.Get("alpha"); as != "" && p.opt.Alpha <= 1 {
+			t.Fatalf("accepted query %q with alpha=%v", raw, p.opt.Alpha)
+		}
+		if bs := values.Get("budget"); bs != "" && p.opt.Budget <= 0 {
+			t.Fatalf("accepted query %q with budget=%d", raw, p.opt.Budget)
+		}
+		if withStats != (p.opt.Stats != nil) {
+			t.Fatalf("query %q: stats=%v but Stats=%v", raw, withStats, p.opt.Stats)
+		}
+		for _, id := range p.sources {
+			if id < 0 || int(id) >= s.g.NumNodes() {
+				// Node range is validated by the engine, not the parser;
+				// explicit ids may be out of range here. Categories,
+				// though, must resolve to valid nodes.
+				if strings.TrimSpace(values.Get("sourceCategory")) != "" {
+					t.Fatalf("category query %q yielded out-of-range node %d", raw, id)
+				}
+			}
+		}
+	})
+}

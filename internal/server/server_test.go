@@ -10,7 +10,7 @@ import (
 	"kpj"
 )
 
-func testServer(t *testing.T, opts ...Option) (*Server, *kpj.Graph) {
+func testServer(t testing.TB, opts ...Option) (*Server, *kpj.Graph) {
 	t.Helper()
 	// A 6×6 grid city with two categories.
 	const w, h = 6, 6

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"kpj/internal/core"
+	"kpj/internal/obs"
 )
 
 // BatchQuery is one query of a batch: the k shortest simple paths from any
@@ -117,9 +118,19 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 			workerOpt.Workspace = pool.Get(g.NumNodes() + 2)
 			defer pool.Put(workerOpt.Workspace)
 			var st Stats
-			if copt.Stats != nil {
+			// With engine metrics enabled each query runs against a
+			// per-query scratch Stats so its work can be observed
+			// individually, then folds into the worker total; otherwise
+			// queries accumulate straight into the worker total (or skip
+			// stats entirely when the caller asked for none).
+			var qst Stats
+			perQuery := core.Metrics() != nil
+			switch {
+			case perQuery:
+				workerOpt.Stats = &qst
+			case copt.Stats != nil:
 				workerOpt.Stats = &st
-			} else {
+			default:
 				workerOpt.Stats = nil
 			}
 			for {
@@ -139,6 +150,11 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 				bq := queries[i]
 				q := core.Query{Sources: dedupe(bq.Sources), Targets: dedupe(bq.Targets), K: bq.K}
 				results[i].Paths, results[i].Err = finishQuery(fn(g.g, q, workerOpt))
+				if perQuery {
+					observeQuery(&qst, copt.Budget, results[i].Err)
+					st.Add(qst)
+					qst = Stats{}
+				}
 			}
 			if copt.Stats != nil {
 				mu.Lock()
@@ -152,10 +168,12 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 		opt.Stats.Add(merged)
 	}
 	if traces != nil {
+		endMerge := copt.Spans.Start(obs.PhaseMerge, len(queries))
 		for i := range traces {
 			fmt.Fprintf(opt.Trace, "batch item #%d\n", i)
 			io.Copy(opt.Trace, &traces[i])
 		}
+		endMerge(int64(len(queries)))
 	}
 	return results
 }

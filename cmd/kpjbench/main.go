@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"kpj"
 	"kpj/internal/experiments"
 )
 
@@ -32,10 +33,19 @@ func main() {
 	seed := flag.Int64("seed", 0, "RNG seed (default 1)")
 	parallelism := flag.Int("parallelism", 1, "worker goroutines per query's subspace searches (<= 1 sequential; identical results)")
 	format := flag.String("format", "text", "output format: text, csv, or json")
+	metrics := flag.Bool("metrics", false, "print cumulative engine metrics in Prometheus text format to stderr after the run")
 	flag.Parse()
 	if *format != "text" && *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "kpjbench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	// Metrics go to stderr so the stdout tables (diffed against
+	// BENCH_baseline.json in CI) are byte-identical with or without them.
+	var metricsReg *kpj.MetricsRegistry
+	if *metrics {
+		metricsReg = kpj.NewMetricsRegistry()
+		kpj.EnableMetrics(metricsReg)
 	}
 
 	env := experiments.NewEnv(experiments.Config{
@@ -101,6 +111,13 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonDoc); err != nil {
+			fmt.Fprintf(os.Stderr, "kpjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if metricsReg != nil {
+		fmt.Fprintln(os.Stderr, "engine metrics:")
+		if err := metricsReg.WritePrometheus(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "kpjbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -39,9 +39,11 @@ func main() {
 	alpha := flag.Float64("alpha", 1.1, "tau growth factor")
 	seed := flag.Int64("seed", 1, "landmark selection seed")
 	trace := flag.Bool("trace", false, "print an EXPLAIN-style engine trace to stderr")
+	spans := flag.Bool("spans", false, "print the query's phase timeline (EXPLAIN ANALYZE) as JSON to stderr")
+	metrics := flag.Bool("metrics", false, "print engine metrics in Prometheus text format to stderr")
 	flag.Parse()
 
-	if err := run(*graphPath, *poisPath, *source, *sourceCat, *category, *k, *alg, *landmarks, *indexPath, *alpha, *seed, *trace); err != nil {
+	if err := run(*graphPath, *poisPath, *source, *sourceCat, *category, *k, *alg, *landmarks, *indexPath, *alpha, *seed, *trace, *spans, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjquery: %v\n", err)
 		os.Exit(1)
 	}
@@ -55,7 +57,7 @@ func algoNames() []string {
 	return names
 }
 
-func run(graphPath, poisPath string, source int, sourceCat, category string, k int, alg string, landmarks int, indexPath string, alpha float64, seed int64, trace bool) error {
+func run(graphPath, poisPath string, source int, sourceCat, category string, k int, alg string, landmarks int, indexPath string, alpha float64, seed int64, trace, spans, metrics bool) error {
 	if graphPath == "" || category == "" {
 		return fmt.Errorf("-graph and -category are required")
 	}
@@ -88,6 +90,15 @@ func run(graphPath, poisPath string, source int, sourceCat, category string, k i
 	opt := &kpj.Options{Algorithm: algo, Alpha: alpha, Stats: &kpj.Stats{}}
 	if trace {
 		opt.Trace = os.Stderr
+	}
+	if spans {
+		opt.Spans = kpj.NewSpans()
+	}
+	var reg *kpj.MetricsRegistry
+	if metrics {
+		reg = kpj.NewMetricsRegistry()
+		kpj.EnableMetrics(reg)
+		defer kpj.EnableMetrics(nil)
 	}
 	switch {
 	case indexPath != "":
@@ -133,5 +144,17 @@ func run(graphPath, poisPath string, source int, sourceCat, category string, k i
 	}
 	fmt.Printf("%d paths in %v (%s, alpha=%.2f)  stats: %+v\n",
 		len(paths), elapsed.Round(time.Microsecond), alg, alpha, *opt.Stats)
+	if opt.Spans != nil {
+		fmt.Fprintln(os.Stderr, "phase timeline:")
+		if err := opt.Spans.WriteJSON(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "metrics:")
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -46,17 +46,20 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "worker goroutines per query's subspace searches (<= 1 sequential; identical results)")
 	cacheSize := flag.Int("cachesize", 0, "cross-request bound-table cache entries (0 = default 128, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus) and /debug/vars, and collect engine counters")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
 	flag.Parse()
 
 	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
-		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain); err != nil {
+		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain, *metrics, *pprofOn); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
-	timeout time.Duration, budget int64, maxInFlight, parallelism, cacheSize int, drain time.Duration) error {
+	timeout time.Duration, budget int64, maxInFlight, parallelism, cacheSize int, drain time.Duration,
+	metrics, pprofOn bool) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -100,15 +103,27 @@ func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr 
 		fmt.Printf("built %d-landmark index in %v\n", ix.Count(), time.Since(start).Round(time.Millisecond))
 	}
 
+	opts := []server.Option{
+		server.WithMaxK(maxK),
+		server.WithTimeout(timeout),
+		server.WithBudget(budget),
+		server.WithMaxInFlight(maxInFlight),
+		server.WithParallelism(parallelism),
+		server.WithBoundsCacheSize(cacheSize),
+	}
+	if metrics {
+		reg := kpj.NewMetricsRegistry()
+		kpj.EnableMetrics(reg)
+		opts = append(opts, server.WithMetrics(reg))
+		fmt.Println("metrics on /metrics and /debug/vars")
+	}
+	if pprofOn {
+		opts = append(opts, server.WithPprof())
+		fmt.Println("profiling on /debug/pprof/")
+	}
 	srv := &http.Server{
-		Addr: addr,
-		Handler: server.New(g, ix,
-			server.WithMaxK(maxK),
-			server.WithTimeout(timeout),
-			server.WithBudget(budget),
-			server.WithMaxInFlight(maxInFlight),
-			server.WithParallelism(parallelism),
-			server.WithBoundsCacheSize(cacheSize)),
+		Addr:              addr,
+		Handler:           server.New(g, ix, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving %d nodes / %d edges (categories %v) on %s\n",

@@ -3,6 +3,7 @@ package core
 import (
 	"kpj/internal/graph"
 	"kpj/internal/landmark"
+	"kpj/internal/obs"
 )
 
 // This file wires the engine into the paper's four contributed algorithms.
@@ -26,12 +27,14 @@ func forwardHeuristic(sp *Space, q Query, opt *Options) Heuristic {
 	if opt.Index == nil {
 		return ZeroHeuristic{}
 	}
+	endSpan := opt.Spans.Start(obs.PhaseLBTables, 0)
 	var b *landmark.Bounds
 	if opt.SetBounds != nil {
 		b = opt.SetBounds.BoundsToSet(opt.Index, q.Targets)
 	} else {
 		b = opt.Index.BoundsToSet(q.Targets)
 	}
+	endSpan(int64(len(q.Targets)))
 	return CategoryHeuristic{Space: sp, Bounds: b}
 }
 
@@ -44,12 +47,14 @@ func reverseHeuristic(sp *Space, q Query, opt *Options) Heuristic {
 	if len(q.Sources) == 1 {
 		return SourceHeuristic{Space: sp, Index: opt.Index, Source: q.Sources[0]}
 	}
+	endSpan := opt.Spans.Start(obs.PhaseLBTables, 0)
 	var b *landmark.FromBounds
 	if opt.SetBounds != nil {
 		b = opt.SetBounds.BoundsFromSet(opt.Index, q.Sources)
 	} else {
 		b = opt.Index.BoundsFromSet(q.Sources)
 	}
+	endSpan(int64(len(q.Sources)))
 	return SourceSetHeuristic{Space: sp, Bounds: b}
 }
 
@@ -74,6 +79,7 @@ func BestFirst(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		pool:    pool,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
+		spans:   opt.Spans,
 	}
 	return e.run()
 }
@@ -99,6 +105,7 @@ func IterBound(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		pool:    pool,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
+		spans:   opt.Spans,
 	}
 	return e.run()
 }
@@ -114,7 +121,9 @@ func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	}
 	sp := NewForwardSpace(g, q.Sources, q.Targets)
 	rev := NewReverseSpace(g, q.Sources, q.Targets)
+	endSPT := opt.Spans.Start(obs.PhaseSPTBuild, 0)
 	dt, settled, init, ok := buildPartialSPT(rev, reverseHeuristic(rev, q, &opt), opt.Stats, opt.bound)
+	endSPT(int64(len(dt)))
 	if !ok {
 		return nil, opt.bound.Err()
 	}
@@ -130,6 +139,7 @@ func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		pool:    pool,
 		stats:   opt.Stats,
 		onEvent: opt.Trace,
+		spans:   opt.Spans,
 	}
 	return e.run()
 }
@@ -146,8 +156,10 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	}
 	fwd := NewForwardSpace(g, q.Sources, q.Targets)
 	rev := NewReverseSpace(g, q.Sources, q.Targets)
+	endSPT := opt.Spans.Start(obs.PhaseSPTBuild, 0)
 	tree := newSPTI(fwd, forwardHeuristic(fwd, q, &opt), opt.Stats, opt.bound)
 	init, ok := tree.initialPath()
+	endSPT(int64(tree.size()))
 	if !ok {
 		return nil, opt.bound.Err()
 	}
@@ -167,6 +179,7 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 		pool:          pool,
 		stats:         opt.Stats,
 		onEvent:       opt.Trace,
+		spans:         opt.Spans,
 	}
 	return e.run()
 }

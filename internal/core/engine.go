@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"kpj/internal/graph"
+	"kpj/internal/obs"
 	"kpj/internal/pqueue"
 )
 
@@ -94,6 +95,10 @@ type engine struct {
 
 	stats   *Stats
 	onEvent TraceFunc
+
+	// spans, when non-nil, records the phase timeline (bound iteration
+	// N, division). Purely observational; nil costs one check.
+	spans *obs.Spans
 }
 
 // nextTau implements Alg. 4 line 9 with integer-safe strict growth:
@@ -134,6 +139,7 @@ func (e *engine) run() ([]Path, error) {
 	q := pqueue.NewHeap[entry](lessEntry)
 
 	// Seed with the shortest path of the whole space.
+	endInitial := e.spans.Start(obs.PhaseInitial, 0)
 	var first SearchResult
 	var ok bool
 	if e.initial != nil {
@@ -143,6 +149,7 @@ func (e *engine) run() ([]Path, error) {
 		first, status = e.ws.SubspaceSearch(e.sp, e.pt, 0, e.searchH, graph.Infinity, e.pruner, e.stats)
 		ok = status == Found
 	}
+	endInitial(first.Total)
 	if !ok {
 		return nil, e.bound.Err()
 	}
@@ -152,6 +159,7 @@ func (e *engine) run() ([]Path, error) {
 	jobs := make([]resolveJob, 0, resolveBatch)
 
 	var out []Path
+	round := 0
 	for len(out) < e.k && q.Len() > 0 {
 		if err := e.bound.Step(); err != nil {
 			return out, err
@@ -170,10 +178,13 @@ func (e *engine) run() ([]Path, error) {
 		// (IterBound) or solve exactly (BestFirst). τ for each is
 		// computed against the queue as seen at its pop, so the schedule
 		// of bounds is a pure function of the query alone.
+		round++
+		endRound := e.spans.Start(obs.PhaseRound, round)
 		jobs = jobs[:0]
 		jobs = append(jobs, resolveJob{ent: q.Pop()})
 		for len(jobs) < resolveBatch && q.Len() > 0 && q.Top().res == nil {
 			if err := e.bound.Step(); err != nil {
+				endRound(int64(len(jobs)))
 				return out, err
 			}
 			jobs = append(jobs, resolveJob{ent: q.Pop()})
@@ -220,11 +231,13 @@ func (e *engine) run() ([]Path, error) {
 			case Aborted:
 				e.trace(Event{Kind: EventResolve, Vertex: j.ent.vertex, Node: e.pt.Node(j.ent.vertex),
 					Tau: j.tau, Status: j.status})
+				endRound(int64(len(jobs)))
 				return out, e.bound.Err()
 			}
 			e.trace(Event{Kind: EventResolve, Vertex: j.ent.vertex, Node: e.pt.Node(j.ent.vertex),
 				Length: j.res.Total, Tau: j.tau, Status: j.status})
 		}
+		endRound(int64(len(jobs)))
 	}
 	// A bound that tripped inside a helper (SPT growth, CompLB) without an
 	// Aborted search still truncates the result.
@@ -250,6 +263,7 @@ func (e *engine) emitAndDivide(q *pqueue.Heap[entry], ent entry, out *[]Path) (s
 	if len(*out) == e.k {
 		return true
 	}
+	endDivide := e.spans.Start(obs.PhaseDivide, len(*out))
 	created := e.pt.InsertSuffix(ent.vertex, res.Suffix, res.Lens)
 
 	// New subspaces: the deviation vertex itself (its X grew) and every
@@ -285,6 +299,7 @@ func (e *engine) emitAndDivide(q *pqueue.Heap[entry], ent entry, out *[]Path) (s
 		q.Push(entry{vertex: v, key: lb})
 		e.trace(Event{Kind: EventEnqueue, Vertex: v, Node: e.pt.Node(v), Length: lb})
 	}
+	endDivide(int64(len(cands)))
 	// CompLB returns 0 (a valid lower bound) when a bound trips inside it;
 	// stop before acting on the degraded values' enqueues.
 	return e.bound.Err() != nil

@@ -46,6 +46,9 @@ type poolRound struct {
 	next *atomic.Int64
 	f    func(task, slot int)
 	wg   *sync.WaitGroup
+	// share is the even per-worker task share for this round (⌈m/n⌉ over
+	// the n workers dispatched); tasks claimed beyond it count as steals.
+	share int
 }
 
 // NewPool materializes the intra-query worker pool described by the
@@ -115,6 +118,11 @@ func (p *Pool) Run(m int, f func(task int, ws *Workspace, st *Stats)) {
 	if m < n {
 		n = m
 	}
+	r.share = (m + n - 1) / n
+	if em := Metrics(); em != nil {
+		em.PoolRounds.Inc()
+		em.PoolTasks.Add(int64(m))
+	}
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		p.rounds <- r
@@ -124,12 +132,19 @@ func (p *Pool) Run(m int, f func(task int, ws *Workspace, st *Stats)) {
 
 func (p *Pool) worker(slot int) {
 	for r := range p.rounds {
+		claimed := 0
 		for {
 			i := int(r.next.Add(1)) - 1
 			if i >= r.m {
 				break
 			}
 			r.f(i, slot)
+			claimed++
+		}
+		// A fast worker that claimed past its even share absorbed imbalance
+		// left by slower peers — the "steal" signal for pool tuning.
+		if em := Metrics(); em != nil && claimed > r.share {
+			em.PoolSteals.Add(int64(claimed - r.share))
 		}
 		r.wg.Done()
 	}

@@ -7,6 +7,7 @@ import (
 
 	"kpj/internal/graph"
 	"kpj/internal/landmark"
+	"kpj/internal/obs"
 )
 
 // Query is a resolved top-k shortest path join: find the K shortest simple
@@ -38,6 +39,12 @@ type Options struct {
 	// EXPLAIN-style view of which subspaces were divided, bounded, and
 	// pruned.
 	Trace TraceFunc
+	// Spans, when non-nil, records the query's phase timeline — lower
+	// bound table builds, SPT construction, each bound iteration,
+	// division, and candidate resolution — as obs.Span entries. Timing
+	// is observational only and never feeds back into the search, so
+	// the emitted path sequence stays bit-identical with or without it.
+	Spans *obs.Spans
 	// Context, when non-nil, makes the query cancelable: cancellation (or
 	// a deadline) stops all search loops within a few hundred heap pops
 	// and the query returns the paths found so far with an error wrapping

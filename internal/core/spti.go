@@ -19,9 +19,11 @@ type sptiTree struct {
 	ds      []graph.Weight
 	parent  []graph.NodeID
 	settled []bool
-	q       *pqueue.NodeQueue
-	st      *Stats
-	bound   *Bound
+	// nsettled counts settled nodes for the spt_build/grow span payloads.
+	nsettled int
+	q        *pqueue.NodeQueue
+	st       *Stats
+	bound    *Bound
 }
 
 func newSPTI(fwd *Space, h Heuristic, st *Stats, bound *Bound) *sptiTree {
@@ -59,6 +61,7 @@ func (t *sptiTree) settleOne() graph.NodeID {
 			continue
 		}
 		t.settled[v] = true
+		t.nsettled++
 		if t.st != nil {
 			t.st.SPTNodes++
 			t.st.NodesPopped++
@@ -119,6 +122,9 @@ func (t *sptiTree) growTo(tau graph.Weight) {
 // exhausted reports whether the tree can grow no further — at that point
 // "not in SPT_I" means "unreachable from the source side".
 func (t *sptiTree) exhausted() bool { return t.q.Len() == 0 }
+
+// size returns the number of settled nodes (span payload).
+func (t *sptiTree) size() int { return t.nsettled }
 
 // sptiPruner restricts reverse-space searches to SPT_I nodes. Exclusions
 // are definitive only once the tree is exhausted.

@@ -18,6 +18,7 @@ package deviation
 import (
 	"kpj/internal/core"
 	"kpj/internal/graph"
+	"kpj/internal/obs"
 	"kpj/internal/pqueue"
 )
 
@@ -53,7 +54,7 @@ type resolveFunc func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core
 // with the bound's error.
 func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 	ws *core.Workspace, st *core.Stats, pool *core.Pool,
-	trace core.TraceFunc, bound *core.Bound) ([]core.Path, error) {
+	trace core.TraceFunc, spans *obs.Spans, bound *core.Bound) ([]core.Path, error) {
 
 	cand := pqueue.NewHeap[candidate](lessCandidate)
 	var seq uint64
@@ -77,7 +78,10 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 		ok  bool
 	}
 	var jobs []job
+	resolveRound := 0
 	resolveBatch := func(vs []core.VertexID) {
+		resolveRound++
+		endResolve := spans.Start(obs.PhaseResolve, resolveRound)
 		jobs = jobs[:0]
 		for _, v := range vs {
 			jobs = append(jobs, job{v: v})
@@ -91,9 +95,14 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 				jobs[i].res, jobs[i].ok = resolve(ws, st, jobs[i].v)
 			}
 		}
+		resolved := int64(0)
 		for i := range jobs {
 			push(jobs[i].v, jobs[i].res, jobs[i].ok)
+			if jobs[i].ok {
+				resolved++
+			}
 		}
+		endResolve(resolved)
 	}
 
 	resolveBatch([]core.VertexID{0})
@@ -157,7 +166,7 @@ func DA(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) {
 		res, status := ws.SubspaceSearch(sp, pt, v, core.ZeroHeuristic{}, graph.Infinity, nil, st)
 		return res, status == core.Found
 	}
-	return run(sp, pt, q.K, resolve, ws, opt.Stats, pool, opt.Trace, ws.Bound())
+	return run(sp, pt, q.K, resolve, ws, opt.Stats, pool, opt.Trace, opt.Spans, ws.Bound())
 }
 
 // DASPT processes a query with the DA-SPT baseline ([15], Section 3):
@@ -173,7 +182,9 @@ func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) 
 	}
 	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
 	rev := core.NewReverseSpace(g, q.Sources, q.Targets)
+	endSPT := opt.Spans.Start(obs.PhaseSPTBuild, 0)
 	spt := buildFullSPT(rev, opt.Stats, ws.Bound())
+	endSPT(int64(len(spt.dt)))
 	pt := core.NewPseudoTree(sp.Root)
 	pool := opt.NewPool(sp.NumSpaceNodes())
 	defer pool.Close()
@@ -188,7 +199,7 @@ func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) 
 		res, status := ws.SubspaceSearch(sp, pt, v, h, graph.Infinity, nil, st)
 		return res, status == core.Found
 	}
-	return run(sp, pt, q.K, resolve, ws, opt.Stats, pool, opt.Trace, ws.Bound())
+	return run(sp, pt, q.K, resolve, ws, opt.Stats, pool, opt.Trace, opt.Spans, ws.Bound())
 }
 
 // Algorithms returns the two baselines under their paper names.

@@ -292,15 +292,27 @@ func (e *Env) runQueries(dsName, algoName string, sources []graph.NodeID, target
 	var m Measurement
 	pass := func(collect bool) error {
 		paths := 0
+		// Engine metrics (when enabled via kpjbench -metrics) are fed
+		// from the collect/warmup pass only, one observation per query,
+		// so the timed rounds run exactly as they do without metrics.
+		em := core.Metrics()
 		for _, s := range sources {
 			q := core.Query{Sources: []graph.NodeID{s}, Targets: targets, K: k}
 			opt := core.Options{Index: ix, Alpha: alpha, Workspace: ws, Parallelism: e.Cfg.Parallelism}
-			if collect {
+			var qst core.Stats
+			switch {
+			case collect && em != nil:
+				opt.Stats = &qst
+			case collect:
 				opt.Stats = &m.Stats
 			}
 			got, err := fn(g, q, opt)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", algoName, dsName, err)
+			}
+			if collect && em != nil {
+				em.ObserveQuery(&qst, false, false, false)
+				m.Stats.Add(qst)
 			}
 			paths += len(got)
 		}
@@ -358,15 +370,26 @@ func (e *Env) runJoinQueries(dsName, algoName string, sources, targets []graph.N
 	var m Measurement
 	pass := func(collect bool) error {
 		paths := 0
+		// Same metrics discipline as runQueries: observe on the collect
+		// pass only, leaving the timed rounds untouched.
+		em := core.Metrics()
 		for r := 0; r < reps; r++ {
 			q := core.Query{Sources: sources, Targets: targets, K: k}
 			opt := core.Options{Index: ix, Alpha: alpha, Workspace: ws, Parallelism: e.Cfg.Parallelism}
-			if collect {
+			var qst core.Stats
+			switch {
+			case collect && em != nil:
+				opt.Stats = &qst
+			case collect:
 				opt.Stats = &m.Stats
 			}
 			got, err := fn(g, q, opt)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", algoName, dsName, err)
+			}
+			if collect && em != nil {
+				em.ObserveQuery(&qst, false, false, false)
+				m.Stats.Add(qst)
 			}
 			paths += len(got)
 		}

@@ -26,12 +26,13 @@ import (
 // The zero value is not usable; create one with NewSetBoundsCache. All
 // methods are safe for concurrent use.
 type SetBoundsCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[setBoundsKey]*list.Element
-	lru     *list.List // front = most recently used
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	cap       int
+	entries   map[setBoundsKey]*list.Element
+	lru       *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type setBoundsKey struct {
@@ -98,6 +99,30 @@ func (c *SetBoundsCache) Stats() (hits, misses int64, size int) {
 	return c.hits, c.misses, c.lru.Len()
 }
 
+// CacheStats is the full counter snapshot of a SetBoundsCache.
+type CacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that fell through to a table build
+	Evictions int64 // cached tables displaced (LRU overflow or key collision)
+	Size      int   // entries currently resident
+	Cap       int   // configured capacity
+}
+
+// FullStats reports every cumulative counter plus the current occupancy.
+// Unlike Stats it includes evictions, the signal that distinguishes "the
+// working set fits" from "categories are thrashing each other out".
+func (c *SetBoundsCache) FullStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Cap:       c.cap,
+	}
+}
+
 // lookup returns the cached table for key if the stored node set matches
 // nodes exactly, promoting the entry to most recently used.
 func (c *SetBoundsCache) lookup(key setBoundsKey, nodes []graph.NodeID) (any, bool) {
@@ -124,6 +149,17 @@ func (c *SetBoundsCache) insert(key setBoundsKey, nodes []graph.NodeID, val any)
 	defer c.mu.Unlock()
 	e := &setBoundsEntry{key: key, nodes: append([]graph.NodeID(nil), nodes...), val: val}
 	if el, ok := c.entries[key]; ok {
+		// Replacing the resident entry for this key is two distinct events
+		// and must be accounted as such: concurrent misses of the SAME node
+		// set racing their inserts merely have the later table win — no
+		// cached state is lost, so it is not an eviction. A key collision
+		// (same hash, different node set) displaces a live table and counts
+		// as exactly one eviction. Folding both into the eviction counter
+		// would double-count the benign racing-insert case and make a
+		// healthy cache look like it thrashes under concurrent load.
+		if !sameNodes(el.Value.(*setBoundsEntry).nodes, e.nodes) {
+			c.evictions++
+		}
 		el.Value = e
 		c.lru.MoveToFront(el)
 		return
@@ -133,6 +169,7 @@ func (c *SetBoundsCache) insert(key setBoundsKey, nodes []graph.NodeID, val any)
 		old := c.lru.Back()
 		c.lru.Remove(old)
 		delete(c.entries, old.Value.(*setBoundsEntry).key)
+		c.evictions++
 	}
 }
 

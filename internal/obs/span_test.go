@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpansRecord: spans carry name, iteration, payload, and a
+// non-negative monotone timeline.
+func TestSpansRecord(t *testing.T) {
+	s := NewSpans()
+	end := s.Start(PhaseLBTables, 0)
+	time.Sleep(time.Millisecond)
+	end(17)
+	end = s.Start(PhaseRound, 3)
+	end(8)
+
+	spans, dropped := s.Snapshot()
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != PhaseLBTables || spans[0].Val != 17 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[0].DurMicros < 500 {
+		t.Errorf("span 0 duration %dµs, want ≥ 500µs", spans[0].DurMicros)
+	}
+	if spans[1].Name != PhaseRound || spans[1].N != 3 || spans[1].Val != 8 {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+	if spans[1].StartMicros < spans[0].StartMicros {
+		t.Errorf("span starts out of order: %d before %d", spans[1].StartMicros, spans[0].StartMicros)
+	}
+
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{`"name":"lb_tables"`, `"val":17`, `"n":3`, `"dropped":0`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON %q missing %q", out, frag)
+		}
+	}
+}
+
+// TestSpansNil: a nil recorder is fully inert.
+func TestSpansNil(t *testing.T) {
+	var s *Spans
+	end := s.Start(PhaseInitial, 0)
+	end(1)
+	if spans, dropped := s.Snapshot(); spans != nil || dropped != 0 {
+		t.Error("nil recorder must report nothing")
+	}
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "{\"spans\":[],\"dropped\":0}\n" {
+		t.Errorf("nil recorder JSON = %q", b.String())
+	}
+}
+
+// TestSpansCap: the recorder drops spans beyond maxSpans instead of
+// growing without bound, and counts the drops.
+func TestSpansCap(t *testing.T) {
+	s := NewSpans()
+	for i := 0; i < maxSpans+10; i++ {
+		s.Start(PhaseRound, i)(0)
+	}
+	spans, dropped := s.Snapshot()
+	if len(spans) != maxSpans {
+		t.Errorf("kept %d spans, want %d", len(spans), maxSpans)
+	}
+	if dropped != 10 {
+		t.Errorf("dropped = %d, want 10", dropped)
+	}
+}

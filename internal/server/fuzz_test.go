@@ -37,7 +37,8 @@ func FuzzParseQuery(f *testing.F) {
 			return // not a well-formed query string; the mux rejects it earlier
 		}
 		withStats := values.Get("stats") == "1"
-		p, err := s.parseQuery(values.Get, withStats)
+		withSpans := values.Get("spans") == "1"
+		p, err := s.parseQuery(values.Get, withStats, withSpans)
 		if err != nil {
 			// Rejections must be complete sentences usable in a 400 body.
 			if err.Error() == "" {
@@ -62,6 +63,9 @@ func FuzzParseQuery(f *testing.F) {
 		}
 		if withStats != (p.opt.Stats != nil) {
 			t.Fatalf("query %q: stats=%v but Stats=%v", raw, withStats, p.opt.Stats)
+		}
+		if withSpans != (p.opt.Spans != nil) {
+			t.Fatalf("query %q: spans=%v but Spans=%v", raw, withSpans, p.opt.Spans)
 		}
 		for _, id := range p.sources {
 			if id < 0 || int(id) >= s.g.NumNodes() {

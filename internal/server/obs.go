@@ -1,0 +1,127 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"kpj"
+	"kpj/internal/obs"
+)
+
+// WithMetrics attaches a metrics registry to the server: request counters
+// and a latency histogram are registered into it (kpj_http_*), the
+// bounds cache (when enabled) exports its hit/miss/eviction counters, and
+// two read-only endpoints appear on the mux:
+//
+//	GET /metrics     Prometheus text exposition (format 0.0.4)
+//	GET /debug/vars  the same values as a flat JSON object
+//
+// Callers typically also pass reg to kpj.EnableMetrics so the engine-wide
+// kpj_engine_* counters appear on the same endpoint. The registry must
+// not already contain kpj_http_* metrics.
+func WithMetrics(reg *kpj.MetricsRegistry) Option {
+	return func(s *Server) { s.metricsReg = reg }
+}
+
+// WithPprof exposes the standard net/http/pprof profiling handlers under
+// GET /debug/pprof/ on the server's mux. Off by default: profiling
+// endpoints reveal internals and cost CPU, so they are opt-in and belong
+// behind the same network controls as the rest of the service.
+func WithPprof() Option {
+	return func(s *Server) { s.pprofOn = true }
+}
+
+// serverMetrics is the per-server instrument set. A nil *serverMetrics —
+// the state when WithMetrics was not given — records nothing; all methods
+// are nil-safe so handlers call them unconditionally.
+type serverMetrics struct {
+	queryReqs *obs.Counter
+	batchReqs *obs.Counter
+	queryErrs *obs.Counter
+	batchErrs *obs.Counter
+	truncated *obs.Counter
+	shed      *obs.Counter
+	latencyUS *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &serverMetrics{
+		queryReqs: reg.Counter(`kpj_http_requests_total{route="query"}`, "completed /query requests"),
+		batchReqs: reg.Counter(`kpj_http_requests_total{route="batch"}`, "completed /batch requests"),
+		queryErrs: reg.Counter(`kpj_http_errors_total{route="query"}`, "/query requests answered with an error status"),
+		batchErrs: reg.Counter(`kpj_http_errors_total{route="batch"}`, "/batch requests answered with an error status"),
+		truncated: reg.Counter("kpj_http_truncated_total", "queries answered with truncated partial results"),
+		shed:      reg.Counter("kpj_http_shed_total", "requests shed with 503 by the in-flight limiter"),
+		// 64µs..~67s in 21 half-decade-ish steps: spans interactive
+		// queries through deadline-bound worst cases.
+		latencyUS: reg.Histogram("kpj_http_request_micros", "query/batch request latency in microseconds",
+			obs.ExpBuckets(64, 2, 21)),
+	}
+}
+
+func (m *serverMetrics) observeQuery(start time.Time, failed, truncated bool) {
+	if m == nil {
+		return
+	}
+	m.queryReqs.Inc()
+	if failed {
+		m.queryErrs.Inc()
+	}
+	if truncated {
+		m.truncated.Inc()
+	}
+	m.latencyUS.Observe(time.Since(start).Microseconds())
+}
+
+func (m *serverMetrics) observeBatch(start time.Time, failed bool, truncated int64) {
+	if m == nil {
+		return
+	}
+	m.batchReqs.Inc()
+	if failed {
+		m.batchErrs.Inc()
+	}
+	m.truncated.Add(truncated)
+	m.latencyUS.Observe(time.Since(start).Microseconds())
+}
+
+func (m *serverMetrics) observeShed() {
+	if m == nil {
+		return
+	}
+	m.shed.Inc()
+}
+
+// installObs wires the observability endpoints; called from New after all
+// options have been applied and the cache exists.
+func (s *Server) installObs() {
+	if s.metricsReg != nil {
+		s.met = newServerMetrics(s.metricsReg)
+		if s.cache != nil {
+			s.cache.Instrument(s.metricsReg)
+		}
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+		s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	}
+	if s.pprofOn {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metricsReg.WritePrometheus(w)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metricsReg.WriteJSON(w)
+}

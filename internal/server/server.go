@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -66,6 +67,13 @@ type Server struct {
 	cache *kpj.BoundsCache
 	// logf receives panic reports; defaults to log.Printf.
 	logf func(format string, args ...any)
+	// metricsReg, when non-nil (WithMetrics), backs the /metrics and
+	// /debug/vars endpoints and receives the kpj_http_* instrument set.
+	metricsReg *kpj.MetricsRegistry
+	// met is the instrument set built from metricsReg; nil records nothing.
+	met *serverMetrics
+	// pprofOn (WithPprof) exposes net/http/pprof under /debug/pprof/.
+	pprofOn bool
 }
 
 // Option configures a Server.
@@ -135,6 +143,7 @@ func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
 	s.mux.HandleFunc("GET /query", s.limited(s.handleQuery))
 	s.mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
+	s.installObs()
 	return s
 }
 
@@ -164,6 +173,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 			default:
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable, "too many in-flight queries")
+				s.met.observeShed()
 				return
 			}
 		}
@@ -198,6 +208,9 @@ type QueryResponse struct {
 	// work budget and Paths holds only the prefix found in time.
 	Truncated bool       `json:"truncated,omitempty"`
 	Stats     *kpj.Stats `json:"stats,omitempty"`
+	// Spans, present with spans=1, is the query's phase timeline:
+	// {"spans":[{name,n,startMicros,durMicros,val}...],"dropped":N}.
+	Spans json.RawMessage `json:"spans,omitempty"`
 }
 
 type errorResponse struct {
@@ -255,7 +268,7 @@ type queryParams struct {
 	opt     *kpj.Options
 }
 
-func (s *Server) parseQuery(get func(string) string, withStats bool) (queryParams, error) {
+func (s *Server) parseQuery(get func(string) string, withStats, withSpans bool) (queryParams, error) {
 	var p queryParams
 
 	switch srcCat, src := get("sourceCategory"), get("source"); {
@@ -331,15 +344,21 @@ func (s *Server) parseQuery(get func(string) string, withStats bool) (queryParam
 	if withStats {
 		p.opt.Stats = &kpj.Stats{}
 	}
+	if withSpans {
+		p.opt.Spans = kpj.NewSpans()
+	}
 	return p, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	q := r.URL.Query()
 	withStats := q.Get("stats") == "1"
-	p, err := s.parseQuery(q.Get, withStats)
+	withSpans := q.Get("spans") == "1"
+	p, err := s.parseQuery(q.Get, withStats, withSpans)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		s.met.observeQuery(reqStart, true, false)
 		return
 	}
 	ctx, cancel := s.queryContext(r)
@@ -356,9 +375,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			paths, truncated = partial, true
 		} else if kpj.IsInvalidQuery(err) {
 			writeError(w, http.StatusBadRequest, "%v", err)
+			s.met.observeQuery(reqStart, true, false)
 			return
 		} else {
 			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.met.observeQuery(reqStart, true, false)
 			return
 		}
 	}
@@ -372,7 +393,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, path := range paths {
 		resp.Paths[i] = PathJSON{Nodes: path.Nodes, Length: path.Length}
 	}
+	if p.opt.Spans != nil {
+		var buf bytes.Buffer
+		if p.opt.Spans.WriteJSON(&buf) == nil {
+			resp.Spans = buf.Bytes()
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+	s.met.observeQuery(reqStart, false, truncated)
 }
 
 // BatchRequestItem is one query of a /batch request.
@@ -395,10 +423,12 @@ type BatchResponseItem struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	var items []BatchRequestItem
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&items); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		s.met.observeBatch(reqStart, true, 0)
 		return
 	}
 	queries := make([]kpj.BatchQuery, len(items))
@@ -437,6 +467,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results := s.g.BatchContext(ctx, queries, 0, &kpj.Options{
 		Index: s.ix, Budget: s.budget, BoundsCache: s.cache})
 	out := make([]BatchResponseItem, len(items))
+	var truncatedItems int64
 	for i := range items {
 		switch {
 		case resolveErr[i] != nil:
@@ -445,6 +476,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if _, ok := kpj.Truncated(results[i].Err); ok {
 				out[i].Truncated = true
 				out[i].Paths = pathsJSON(results[i].Paths)
+				truncatedItems++
 			} else {
 				out[i].Error = results[i].Err.Error()
 			}
@@ -453,6 +485,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+	s.met.observeBatch(reqStart, false, truncatedItems)
 }
 
 func pathsJSON(paths []kpj.Path) []PathJSON {

@@ -84,6 +84,12 @@ type Options struct {
 	// (subspaces enqueued/bounded/pruned, τ rounds, emitted paths) — an
 	// EXPLAIN-style view of the query.
 	Trace io.Writer
+	// Spans, when non-nil, records the query's phase timeline (lower-bound
+	// table builds, SPT construction, bound iterations, divisions,
+	// candidate resolutions) for EXPLAIN ANALYZE-style inspection; see
+	// NewSpans. Purely observational — the emitted path sequence is
+	// identical with or without it.
+	Spans *Spans
 	// Context, when non-nil, makes the query cancelable: cancellation or
 	// a deadline stops the engine within a few hundred heap pops, and the
 	// query returns the paths found so far plus a *TruncatedError wrapping
@@ -183,6 +189,7 @@ func (o *Options) coreOptions(g *Graph) (core.Options, core.Func, error) {
 	if o != nil {
 		opt.Alpha = o.Alpha
 		opt.Stats = o.Stats
+		opt.Spans = o.Spans
 		opt.Context = o.Context
 		opt.Budget = o.Budget
 		opt.Parallelism = o.Parallelism
@@ -234,8 +241,15 @@ func (g *Graph) TopKJoinSets(sources, targets []NodeID, k int, opt *Options) ([]
 	pool := workspacePool{g}
 	copt.Workspace = pool.Get(g.NumNodes() + 2)
 	defer pool.Put(copt.Workspace)
+	if core.Metrics() != nil && copt.Stats == nil {
+		// Engine-wide counters aggregate per-query Stats at completion;
+		// collect them even when the caller did not ask for stats.
+		copt.Stats = new(Stats)
+	}
 	q := core.Query{Sources: dedupe(sources), Targets: dedupe(targets), K: k}
-	return finishQuery(fn(g.g, q, copt))
+	paths, err := finishQuery(fn(g.g, q, copt))
+	observeQuery(copt.Stats, copt.Budget, err)
+	return paths, err
 }
 
 // workspacePool adapts the Graph's sync.Pool of workspaces to

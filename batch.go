@@ -3,15 +3,45 @@ package kpj
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kpj/internal/core"
+	"kpj/internal/fault"
 	"kpj/internal/obs"
 )
+
+// Transient-fault retry policy for batch items: an attempt that fails with
+// a fault.ErrTransient-wrapping error (injected transient faults only —
+// cancellation and budget exhaustion are never retried, the caller asked
+// for those) is retried up to batchRetries more times with exponential
+// backoff from batchRetryBase plus a deterministic per-worker jitter.
+const (
+	batchRetries   = 2
+	batchRetryBase = 250 * time.Microsecond
+)
+
+// runBatchAttempt executes one attempt of one batch item. A panic escaping
+// the engine is converted into an ErrWorkerPanic-wrapping truncated result
+// instead of killing the whole batch; the BatchWorker fault point can fail
+// the attempt before the query starts.
+func runBatchAttempt(g *Graph, fn core.Func, q core.Query, opt core.Options) (paths []Path, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			paths, err = finishQuery(nil, fmt.Errorf("%w: %v", ErrWorkerPanic, rec))
+		}
+	}()
+	if ferr := fault.Hit(fault.BatchWorker); ferr != nil {
+		return finishQuery(nil, ferr)
+	}
+	return finishQuery(fn(g.g, q, opt))
+}
 
 // BatchQuery is one query of a batch: the k shortest simple paths from any
 // of Sources to any of Targets.
@@ -117,6 +147,9 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 			workerOpt := copt
 			workerOpt.Workspace = pool.Get(g.NumNodes() + 2)
 			defer pool.Put(workerOpt.Workspace)
+			// Jitter source for transient-fault backoff: seeded per worker
+			// so batch runs stay reproducible end to end.
+			rng := rand.New(rand.NewSource(int64(w) + 1))
 			var st Stats
 			// With engine metrics enabled each query runs against a
 			// per-query scratch Stats so its work can be observed
@@ -144,12 +177,22 @@ func (g *Graph) BatchContext(ctx context.Context, queries []BatchQuery, parallel
 					results[i].Err = skipErr()
 					continue
 				}
-				if traces != nil {
-					workerOpt.Trace = traceWriter(&traces[i], g.NumNodes())
-				}
 				bq := queries[i]
 				q := core.Query{Sources: dedupe(bq.Sources), Targets: dedupe(bq.Targets), K: bq.K}
-				results[i].Paths, results[i].Err = finishQuery(fn(g.g, q, workerOpt))
+				for attempt := 0; ; attempt++ {
+					if traces != nil {
+						// A retried attempt replays its trace from scratch so
+						// the merged output shows only the attempt that stood.
+						traces[i].Reset()
+						workerOpt.Trace = traceWriter(&traces[i], g.NumNodes())
+					}
+					results[i].Paths, results[i].Err = runBatchAttempt(g, fn, q, workerOpt)
+					if attempt >= batchRetries || !errors.Is(results[i].Err, fault.ErrTransient) || done() {
+						break
+					}
+					delay := batchRetryBase << attempt
+					time.Sleep(delay + time.Duration(rng.Int63n(int64(batchRetryBase))))
+				}
 				if perQuery {
 					observeQuery(&qst, copt.Budget, results[i].Err)
 					st.Add(qst)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kpj"
+	"kpj/internal/leaktest"
 )
 
 func batchFixture(t *testing.T) (*kpj.Graph, *kpj.Index, []kpj.BatchQuery) {
@@ -148,6 +149,7 @@ func TestBatchContextPreCanceled(t *testing.T) {
 }
 
 func TestBatchContextMidCancel(t *testing.T) {
+	defer leaktest.Check(t)()
 	g, ix, queries := batchFixture(t)
 	// Inflate the work per query so cancellation lands mid-batch.
 	big := make([]kpj.BatchQuery, 0, len(queries)*4)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kpj"
+	"kpj/internal/leaktest"
 )
 
 // boundAlgorithms enumerates every algorithm the bounded-execution
@@ -44,6 +45,7 @@ func boundGrid(t testing.TB, w, h int) *kpj.Graph {
 // TestCanceledContext: a context canceled before the query starts must
 // stop every algorithm promptly with ErrCanceled and a TruncatedError.
 func TestCanceledContext(t *testing.T) {
+	defer leaktest.Check(t)()
 	g := boundGrid(t, 20, 20)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -68,6 +70,7 @@ func TestCanceledContext(t *testing.T) {
 // TestCancelMidQuery: canceling while the engine runs returns promptly
 // with whatever prefix was found.
 func TestCancelMidQuery(t *testing.T) {
+	defer leaktest.Check(t)()
 	g := boundGrid(t, 40, 40)
 	for _, alg := range boundAlgorithms {
 		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)

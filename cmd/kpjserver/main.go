@@ -15,7 +15,12 @@
 //
 // Queries that exceed -timeout or -budget return the paths found so far
 // with "truncated": true; requests beyond -maxinflight are shed with 503.
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// SIGINT/SIGTERM drain in-flight requests before exiting. With -index,
+// SIGHUP re-reads the index file and atomically swaps it in (a failed
+// reload logs the error and keeps serving the old index). -breaker N
+// arms a per-algorithm circuit breaker: N consecutive internal failures
+// switch that algorithm to a degraded serial profile instead of a run of
+// 500s; -breakerprobes clean degraded queries switch it back.
 package main
 
 import (
@@ -48,10 +53,13 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus) and /debug/vars, and collect engine counters")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
+	breaker := flag.Int("breaker", 0, "consecutive internal failures per algorithm before degrading it to serial cache-bypassed execution (0 = disabled)")
+	breakerProbes := flag.Int("breakerprobes", 2, "consecutive clean degraded queries before leaving degraded mode")
 	flag.Parse()
 
 	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
-		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain, *metrics, *pprofOn); err != nil {
+		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain, *metrics, *pprofOn,
+		*breaker, *breakerProbes); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
 		os.Exit(1)
 	}
@@ -59,7 +67,7 @@ func main() {
 
 func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
 	timeout time.Duration, budget int64, maxInFlight, parallelism, cacheSize int, drain time.Duration,
-	metrics, pprofOn bool) error {
+	metrics, pprofOn bool, breakerThreshold, breakerProbes int) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -121,13 +129,28 @@ func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr 
 		opts = append(opts, server.WithPprof())
 		fmt.Println("profiling on /debug/pprof/")
 	}
+	if breakerThreshold > 0 {
+		opts = append(opts, server.WithBreaker(breakerThreshold, breakerProbes))
+		fmt.Printf("circuit breaker armed: %d failures open, %d probes close\n", breakerThreshold, breakerProbes)
+	}
+	app := server.New(g, ix, opts...)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(g, ix, opts...),
+		Handler:           app,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving %d nodes / %d edges (categories %v) on %s\n",
 		g.NumNodes(), g.NumEdges(), g.Categories(), addr)
+
+	// Index hot-reload: SIGHUP re-reads -index and swaps it in atomically;
+	// a reload that fails for any reason keeps the old index serving.
+	if indexPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go watchReload(app, indexPath, hup, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
+	}
 
 	// Graceful shutdown: SIGINT/SIGTERM stop accepting connections and
 	// drain in-flight requests (whose query contexts end when the drain
@@ -148,5 +171,19 @@ func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr 
 			return fmt.Errorf("shutdown: %w", err)
 		}
 		return nil
+	}
+}
+
+// watchReload hot-reloads the index from path each time a signal (SIGHUP
+// in production) arrives on ch; it returns when ch is closed. Factored
+// out of run so the reload behavior is testable without sending signals
+// to the test process.
+func watchReload(app *server.Server, path string, ch <-chan os.Signal, logf func(string, ...any)) {
+	for range ch {
+		if err := app.ReloadIndex(path); err != nil {
+			logf("index reload failed (keeping current index): %v", err)
+			continue
+		}
+		logf("index reloaded from %s", path)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"kpj/internal/core"
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 )
 
@@ -21,6 +22,23 @@ var (
 	// ErrBudgetExceeded: the query consumed Options.Budget work units
 	// before all k paths were found.
 	ErrBudgetExceeded = core.ErrBudgetExceeded
+)
+
+// Failure sentinels. These never occur in normal operation: ErrWorkerPanic
+// means a search worker panicked (the pool recovers it and converts the
+// query into a truncated one instead of crashing the process), and
+// ErrInjectedFault is the root of every error produced by the
+// internal/fault test registry. Both deliver the same contract as the
+// interruption sentinels — the paths returned alongside the error are a
+// valid prefix of the true answer.
+var (
+	// ErrWorkerPanic: a panic escaped a search or batch worker and was
+	// converted into a query error.
+	ErrWorkerPanic = core.ErrWorkerPanic
+	// ErrInjectedFault: the error originates from a fault-injection rule
+	// (tests and chaos runs only; never fires in production builds because
+	// the registry is nil unless installed).
+	ErrInjectedFault = fault.ErrInjected
 )
 
 // Validation sentinels, re-exported so serving layers can map them to
@@ -92,7 +110,11 @@ func finishQuery(paths []core.Path, err error) ([]Path, error) {
 		out[i] = Path{Nodes: p.Nodes, Length: p.Length}
 	}
 	if err != nil {
-		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExceeded) {
+		// Injected faults and recovered worker panics ride the same bound
+		// channel as cancellation, so the emitted paths are an equally valid
+		// prefix — wrap them the same way instead of discarding them.
+		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExceeded) ||
+			errors.Is(err, ErrInjectedFault) || errors.Is(err, ErrWorkerPanic) {
 			return out, &TruncatedError{Paths: out, Cause: err}
 		}
 		return nil, err

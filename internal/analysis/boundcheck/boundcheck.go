@@ -5,8 +5,12 @@
 // the query's interruption state on each iteration, by calling a method
 // of core.Bound (Step, Work, or Err) or an equivalent cancellation poll
 // (the sssp package's `canceled` helper), so deadlines and work budgets
-// cut every loop (PR 1's partial-result contract). A loop whose work is
-// bounded by construction carries //kpjlint:bounded with the argument.
+// cut every loop (PR 1's partial-result contract). A fault-injection
+// poll — fault.Hit(point) or a Registry.Hit method call — also counts:
+// it is an interruption point through which chaos schedules abort the
+// loop, and in the engine it always funnels into the same Bound. A loop
+// whose work is bounded by construction carries //kpjlint:bounded with
+// the argument.
 package boundcheck
 
 import (
@@ -91,7 +95,7 @@ func consultsBound(pass *analysis.Pass, loop *ast.ForStmt) bool {
 		}
 		switch fun := call.Fun.(type) {
 		case *ast.SelectorExpr:
-			if boundMethod(pass, fun) {
+			if boundMethod(pass, fun) || faultPoll(pass, fun) {
 				found = true
 			}
 		case *ast.Ident:
@@ -118,9 +122,32 @@ func boundMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 }
 
 func isBoundType(t types.Type) bool {
+	return isNamed(t, "Bound")
+}
+
+// faultPoll reports whether sel is a fault-point poll: the package-level
+// fault.Hit(point) helper or the Hit method of a fault Registry. Like
+// boundMethod it matches by name so analyzer testdata stays stdlib-only.
+func faultPoll(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Hit" {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Name() == "fault"
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isNamed(tv.Type, "Registry")
+}
+
+func isNamed(t types.Type, name string) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Bound"
+	return ok && named.Obj().Name() == name
 }

@@ -74,6 +74,37 @@ func cancelPolled(q *queue) {
 	}
 }
 
+// Registry mirrors fault.Registry's poll surface: a Hit call is an
+// interruption point chaos schedules abort through, so it counts as a
+// loop bound.
+type Registry struct{}
+
+func (r *Registry) Hit(p string) error { return nil }
+
+func faultPolled(q *queue, reg *Registry) {
+	for q.Len() > 0 {
+		if reg.Hit("spt.grow") != nil {
+			return
+		}
+		q.Pop()
+	}
+}
+
+// gauge has a Hit method but is not a fault Registry; calling it does
+// not make a loop interruptible.
+type gauge struct{}
+
+func (gauge) Hit(p string) error { return nil }
+
+func hitOnWrongType(q *queue, g gauge) {
+	for q.Len() > 0 { // want `heap-pop loop without a Bound check`
+		if g.Hit("metric") != nil {
+			return
+		}
+		q.Pop()
+	}
+}
+
 func notAPopLoop(xs []int) int {
 	total := 0
 	for i := 0; i < len(xs); i++ {

@@ -38,6 +38,7 @@ const (
 	causeNone int32 = iota
 	causeCanceled
 	causeBudget
+	causeInjected
 )
 
 // boundShare is the cross-worker state of a forked Bound: the remaining
@@ -49,6 +50,10 @@ type boundShare struct {
 	capped    bool
 	remaining atomic.Int64
 	cause     atomic.Int32
+	// injected carries the error behind causeInjected. It is stored
+	// before the cause is published, so a sharer that observes
+	// causeInjected always finds it set.
+	injected atomic.Pointer[error]
 }
 
 // tripped converts the recorded stop cause into the sticky error.
@@ -58,6 +63,10 @@ func (s *boundShare) tripped() error {
 		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(s.ctx))
 	case causeBudget:
 		return ErrBudgetExceeded
+	case causeInjected:
+		if ep := s.injected.Load(); ep != nil {
+			return *ep
+		}
 	}
 	return nil
 }
@@ -127,6 +136,34 @@ func (b *Bound) release() {
 		b.share.remaining.Add(b.budget)
 		b.budget = 0
 	}
+}
+
+// Inject records an externally raised failure — an injected fault-point
+// error or a recovered worker panic — as the bound's sticky error, so it
+// flows through the same truncation machinery as a deadline or budget
+// trip: every loop observing this bound (or a sibling sharer) stops
+// within pollEvery units and the query returns its partial-result
+// prefix. The first injected error wins; later ones are dropped. Nil-safe
+// on both receiver and error.
+func (b *Bound) Inject(err error) {
+	if b == nil || err == nil {
+		return
+	}
+	if b.err == nil {
+		b.err = err
+	}
+	if b.share != nil {
+		b.share.injected.CompareAndSwap(nil, &err)
+		b.share.cause.CompareAndSwap(causeNone, causeInjected)
+	}
+}
+
+// newSentinelBound returns a Bound that never trips on its own — no
+// context, effectively unlimited budget — but can carry injected errors.
+// Prepare substitutes it for the nil bound while fault injection is
+// enabled, so unbounded queries still have an interruption channel.
+func newSentinelBound() *Bound {
+	return &Bound{budget: math.MaxInt64, poll: 1}
 }
 
 // Err returns the sticky interruption error, or nil while the query may

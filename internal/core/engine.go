@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/obs"
 	"kpj/internal/pqueue"
@@ -161,6 +162,15 @@ func (e *engine) run() ([]Path, error) {
 	var out []Path
 	round := 0
 	for len(out) < e.k && q.Len() > 0 {
+		// The mid-resolve fault point: an injected error rides the bound's
+		// sticky-error channel so the loop exits through the normal
+		// truncation path with the prefix emitted so far.
+		if ferr := fault.Hit(fault.SubspaceSearch); ferr != nil {
+			if e.bound == nil {
+				return out, ferr
+			}
+			e.bound.Inject(ferr)
+		}
 		if err := e.bound.Step(); err != nil {
 			return out, err
 		}
@@ -214,6 +224,14 @@ func (e *engine) run() ([]Path, error) {
 				j := &jobs[i]
 				j.res, j.status = ws.SubspaceSearch(e.sp, e.pt, j.ent.vertex, e.searchH, j.tau, e.pruner, st)
 			})
+			// A worker panic (recovered by the pool) or injected fault may
+			// have left jobs unexecuted with zero-valued statuses; stop on
+			// the injected error before reading them. Sequential rounds
+			// always run every job, so only the pooled path needs this.
+			if err := e.bound.Err(); err != nil {
+				endRound(int64(len(jobs)))
+				return out, err
+			}
 		}
 		for i := range jobs {
 			j := &jobs[i]

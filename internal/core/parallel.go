@@ -1,9 +1,20 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"kpj/internal/fault"
 )
+
+// ErrWorkerPanic reports that a worker goroutine's task panicked. The
+// pool recovers the panic and injects this into the worker's Bound, so
+// the query degrades into the standard truncation contract (the paths
+// emitted before the panic are a valid prefix) instead of killing the
+// process and deadlocking the round barrier.
+var ErrWorkerPanic = errors.New("core: worker panicked")
 
 // WorkspacePool supplies per-worker scratch workspaces for intra-query
 // parallelism. Get must return a workspace with Fits(n); Put returns one
@@ -138,7 +149,7 @@ func (p *Pool) worker(slot int) {
 			if i >= r.m {
 				break
 			}
-			r.f(i, slot)
+			p.runTask(r, i, slot)
 			claimed++
 		}
 		// A fast worker that claimed past its even share absorbed imbalance
@@ -148,6 +159,30 @@ func (p *Pool) worker(slot int) {
 		}
 		r.wg.Done()
 	}
+}
+
+// runTask executes one claimed task behind panic recovery and the
+// pool.worker fault point. A recovered panic (organic or injected)
+// becomes an ErrWorkerPanic injection into the worker's bound: the
+// round still completes its barrier, and the caller must consult
+// Bound.Err before trusting the round's outputs, since a panicked (or
+// fault-skipped) task leaves its slot of the result unset. With no
+// bound to carry the error the panic is re-raised — silently swallowing
+// it would corrupt results, which is worse than the crash.
+func (p *Pool) runTask(r poolRound, i, slot int) {
+	b := p.slots[slot].ws.bound
+	defer func() {
+		if rec := recover(); rec != nil {
+			if b == nil {
+				panic(rec)
+			}
+			b.Inject(fmt.Errorf("%w: %v", ErrWorkerPanic, rec))
+		}
+	}()
+	if ferr := fault.Hit(fault.PoolWorker); ferr != nil {
+		b.Inject(ferr)
+	}
+	r.f(i, slot)
 }
 
 // Close stops the workers, merges their private stats into the query's

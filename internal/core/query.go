@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/landmark"
 	"kpj/internal/obs"
@@ -131,6 +132,11 @@ func Prepare(g *graph.Graph, q Query, opt *Options, needAlpha bool) (*Workspace,
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrWorkspace, opt.Workspace.n, n)
 	}
 	opt.bound = NewBound(opt.Context, opt.Budget)
+	if opt.bound == nil && fault.Enabled() {
+		// Fault injection delivers mid-query failures through the bound's
+		// sticky error, so an otherwise unbounded query needs a carrier.
+		opt.bound = newSentinelBound()
+	}
 	opt.Workspace.bound = opt.bound
 	return opt.Workspace, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/pqueue"
 )
@@ -52,6 +53,11 @@ func newSPTI(fwd *Space, h Heuristic, st *Stats, bound *Bound) *sptiTree {
 // apart by exhausted()/the bound's sticky error).
 func (t *sptiTree) settleOne() graph.NodeID {
 	for t.q.Len() > 0 {
+		// The mid-SPT-growth fault point: injected errors stop growth via
+		// the bound, and the engine aborts with its prefix at the next poll.
+		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
+			t.bound.Inject(ferr)
+		}
 		if t.bound.Step() != nil {
 			return -1
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/pqueue"
 )
@@ -30,6 +31,9 @@ func buildPartialSPT(rev *Space, revH Heuristic, st *Stats, bound *Bound) (dt []
 	dt[root] = 0
 	q.PushOrDecrease(int32(root), hOrZero(revH, root))
 	for q.Len() > 0 {
+		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
+			bound.Inject(ferr)
+		}
 		if bound.Step() != nil {
 			break // abort: the goal stays unsettled, reported via ok=false
 		}

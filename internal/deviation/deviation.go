@@ -17,6 +17,7 @@ package deviation
 
 import (
 	"kpj/internal/core"
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/obs"
 	"kpj/internal/pqueue"
@@ -109,6 +110,14 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 	var out []core.Path
 	var batch []core.VertexID
 	for len(out) < k && cand.Len() > 0 {
+		// Mid-resolve fault point, delivered through the bound so the
+		// emitted prefix stays valid (same contract as the core engine).
+		if ferr := fault.Hit(fault.SubspaceSearch); ferr != nil {
+			if bound == nil {
+				return out, ferr
+			}
+			bound.Inject(ferr)
+		}
 		if err := bound.Step(); err != nil {
 			return out, err
 		}

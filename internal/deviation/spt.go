@@ -2,6 +2,7 @@ package deviation
 
 import (
 	"kpj/internal/core"
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/pqueue"
 )
@@ -38,6 +39,9 @@ func buildFullSPT(rev *core.Space, st *core.Stats, bound *core.Bound) *fullSPT {
 	t.dt[rev.Root] = 0
 	q.PushOrDecrease(int32(rev.Root), 0)
 	for q.Len() > 0 {
+		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
+			bound.Inject(ferr)
+		}
 		if bound.Step() != nil {
 			break
 		}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	if err := r.Hit(GraphRead); err != nil {
+		t.Fatalf("nil registry injected: %v", err)
+	}
+	if r.Hits(GraphRead) != 0 || r.Fired() != nil {
+		t.Fatal("nil registry recorded state")
+	}
+	r.Add(Rule{Point: GraphRead}) // must not panic
+}
+
+func TestRuleFiresAtNthForCount(t *testing.T) {
+	r := New().Add(Rule{Point: PoolWorker, Nth: 3, Count: 2, Kind: KindError})
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, r.Hit(PoolWorker))
+	}
+	for i, err := range errs {
+		wantErr := i == 2 || i == 3 // hits 3 and 4
+		if (err != nil) != wantErr {
+			t.Fatalf("hit %d: err=%v, want firing=%v", i+1, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: error %v does not wrap ErrInjected", i+1, err)
+		}
+	}
+	fired := r.Fired()
+	if len(fired) != 2 || fired[0].Hit != 3 || fired[1].Hit != 4 {
+		t.Fatalf("fired events %+v, want hits 3 and 4", fired)
+	}
+	if r.Hits(PoolWorker) != 6 {
+		t.Fatalf("Hits = %d, want 6", r.Hits(PoolWorker))
+	}
+}
+
+func TestZeroValuesMeanFirstHitOnce(t *testing.T) {
+	r := New().Add(Rule{Point: CacheInsert})
+	if err := r.Hit(CacheInsert); err == nil {
+		t.Fatal("zero-value rule did not fire on first hit")
+	}
+	if err := r.Hit(CacheInsert); err != nil {
+		t.Fatalf("zero-value rule fired twice: %v", err)
+	}
+}
+
+func TestTransientWrapsInjected(t *testing.T) {
+	r := New().Add(Rule{Point: BatchWorker, Kind: KindTransient})
+	err := r.Hit(BatchWorker)
+	if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("transient error %v must wrap both sentinels", err)
+	}
+	plain := New().Add(Rule{Point: BatchWorker, Kind: KindError}).Hit(BatchWorker)
+	if errors.Is(plain, ErrTransient) {
+		t.Fatalf("plain error %v must not wrap ErrTransient", plain)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	r := New().Add(Rule{Point: PoolWorker, Kind: KindPanic})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("KindPanic did not panic")
+		}
+		if !IsInjectedPanic(rec) {
+			t.Fatalf("recovered %v is not an injected panic", rec)
+		}
+		if IsInjectedPanic("unrelated") {
+			t.Fatal("IsInjectedPanic matched a foreign value")
+		}
+	}()
+	_ = r.Hit(PoolWorker)
+}
+
+func TestLatencyKindSleepsAndReturnsNil(t *testing.T) {
+	r := New().Add(Rule{Point: SubspaceSearch, Kind: KindLatency, Delay: time.Millisecond})
+	start := time.Now()
+	if err := r.Hit(SubspaceSearch); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("latency rule did not sleep")
+	}
+}
+
+func TestErrOverride(t *testing.T) {
+	sentinel := errors.New("custom")
+	r := New().Add(Rule{Point: GraphRead, Err: sentinel})
+	if err := r.Hit(GraphRead); !errors.Is(err, sentinel) {
+		t.Fatalf("override not honored: %v", err)
+	}
+}
+
+func TestPlanIsDeterministicAndSafe(t *testing.T) {
+	a := Plan(42, PlanConfig{})
+	b := Plan(42, PlanConfig{})
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("plans differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if c := Plan(43, PlanConfig{}); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical plans")
+		}
+	}
+	// Panics may only land on panic-safe points across many seeds.
+	for seed := int64(0); seed < 200; seed++ {
+		for _, ru := range Plan(seed, PlanConfig{Rules: 6}) {
+			if ru.Kind == KindPanic && !PanicSafePoints[ru.Point] {
+				t.Fatalf("seed %d: panic rule at unsafe point %s", seed, ru.Point)
+			}
+			if ru.Nth < 1 || ru.Count < 1 {
+				t.Fatalf("seed %d: degenerate rule %+v", seed, ru)
+			}
+		}
+	}
+}
+
+func TestInstallAndGlobalHit(t *testing.T) {
+	defer Install(nil)
+	if Enabled() {
+		t.Fatal("injection enabled before Install")
+	}
+	if err := Hit(GraphRead); err != nil {
+		t.Fatalf("disabled global Hit injected: %v", err)
+	}
+	r := New().Add(Rule{Point: GraphRead, Nth: 2})
+	Install(r)
+	if !Enabled() || Active() != r {
+		t.Fatal("Install did not take")
+	}
+	if err := Hit(GraphRead); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Hit(GraphRead); err == nil {
+		t.Fatal("hit 2 did not fire")
+	}
+	Install(nil)
+	if Enabled() {
+		t.Fatal("Install(nil) did not disable")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 )
 
@@ -145,6 +146,13 @@ func (c *SetBoundsCache) lookup(key setBoundsKey, nodes []graph.NodeID) (any, bo
 // entry when full. Concurrent misses of the same key both compute and the
 // later insert wins — wasted work, never a wrong result.
 func (c *SetBoundsCache) insert(key setBoundsKey, nodes []graph.NodeID, val any) {
+	// An injected cache fault degrades to a skipped insert — the caller
+	// already holds the freshly built table, so correctness is unaffected;
+	// only reuse is lost. This is the graceful-degradation contract: the
+	// cache is an accelerator, never a correctness dependency.
+	if ferr := fault.Hit(fault.CacheInsert); ferr != nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := &setBoundsEntry{key: key, nodes: append([]graph.NodeID(nil), nodes...), val: val}

@@ -1,0 +1,75 @@
+package landmark
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"kpj/internal/graph"
+	"kpj/internal/testgraphs"
+)
+
+// fuzzGraph is the fixed graph every fuzz execution validates against, so
+// the corpus stays meaningful across runs.
+func fuzzGraph() *graph.Graph {
+	return testgraphs.RandomConnected(rand.New(rand.NewSource(7)), 20, 60, 25)
+}
+
+// FuzzReadIndex throws arbitrary bytes at the index deserializer. The
+// contract under ANY input: Read returns either a fully validated index or
+// one of the typed errors (ErrIndexFormat / ErrIndexChecksum /
+// ErrIndexMismatch) — never a panic, never an unchecked allocation sized
+// by attacker-controlled counts, and any accepted index must byte-identically
+// round-trip.
+func FuzzReadIndex(f *testing.F) {
+	g := fuzzGraph()
+	ix, err := Build(g, 3, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)                // well-formed index
+	f.Add(valid[:len(valid)/2]) // truncated mid-payload
+	f.Add(valid[:8])            // magic only
+	f.Add([]byte{})             // empty input
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01 // checksum byte flipped
+	f.Add(flipped)
+	oversized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(oversized[32:40], 1<<40) // landmark count beyond maxLandmarks
+	f.Add(oversized)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data), g)
+		if err != nil {
+			if !errors.Is(err, ErrIndexFormat) && !errors.Is(err, ErrIndexChecksum) &&
+				!errors.Is(err, ErrIndexMismatch) {
+				t.Fatalf("untyped error from Read: %v", err)
+			}
+			if got != nil {
+				t.Fatal("Read returned both an index and an error")
+			}
+			return
+		}
+		// Accepted inputs must be semantically usable and re-serializable.
+		if got.Count() < 1 {
+			t.Fatalf("accepted index with %d landmarks", got.Count())
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted index fails to re-serialize: %v", err)
+		}
+		// Read ignores trailing bytes, so the re-serialization must equal
+		// the consumed prefix of the input.
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted index does not round-trip: %d bytes in, %d out", len(data), out.Len())
+		}
+	})
+}

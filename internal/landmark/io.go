@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 )
 
@@ -84,6 +85,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // Read deserializes an index previously written with WriteTo and binds it
 // to g, verifying the stored graph fingerprint and checksum.
 func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	if err := fault.Hit(fault.IndexLoad); err != nil {
+		return nil, fmt.Errorf("landmark: load: %w", err)
+	}
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

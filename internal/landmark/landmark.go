@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 
+	"kpj/internal/fault"
 	"kpj/internal/graph"
 	"kpj/internal/sssp"
 )
@@ -70,6 +71,9 @@ func Build(g *graph.Graph, count int, seed int64) (*Index, error) {
 // being recomputed) and the backward Dijkstras run concurrently with the
 // remaining selection rounds.
 func BuildParallel(g *graph.Graph, count int, seed int64, parallelism int) (*Index, error) {
+	if err := fault.Hit(fault.IndexBuild); err != nil {
+		return nil, fmt.Errorf("landmark: build: %w", err)
+	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("landmark: empty graph")
@@ -174,6 +178,9 @@ func BuildWithLandmarks(g *graph.Graph, landmarks []graph.NodeID) (*Index, error
 // so construction speeds up near-linearly with cores; the produced index
 // is identical at every parallelism level.
 func BuildWithLandmarksParallel(g *graph.Graph, landmarks []graph.NodeID, parallelism int) (*Index, error) {
+	if err := fault.Hit(fault.IndexBuild); err != nil {
+		return nil, fmt.Errorf("landmark: build: %w", err)
+	}
 	if len(landmarks) == 0 {
 		return nil, fmt.Errorf("landmark: no landmarks")
 	}

@@ -1,0 +1,137 @@
+// Package leaktest verifies that a test leaves no goroutines behind — the
+// invariant every cancellation, shutdown, and fault-injection path of the
+// engine must preserve. Usage:
+//
+//	func TestSomething(t *testing.T) {
+//		defer leaktest.Check(t)()
+//		...
+//	}
+//
+// Check snapshots the running goroutines; the returned func re-snapshots
+// and fails the test if goroutines born during the test are still alive.
+// Comparison is by creation-site signature (function-name chain with
+// arguments and offsets stripped), counted as a multiset: pre-existing
+// goroutines of the same signature are accounted for, so the helper works
+// even when a suite shares long-lived workers. Goroutines that are merely
+// slow to exit get a grace window of retries before the failure fires.
+package leaktest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB Check needs; taking the interface keeps
+// the package usable from helpers and benchmarks alike.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// maxWait bounds how long the closing check waits for stragglers: long
+// enough for deferred Close/cancel teardown to finish on a loaded CI
+// machine, short enough not to stall the suite on a real leak.
+const maxWait = 3 * time.Second
+
+// Check snapshots the current goroutines and returns a func for defer;
+// see the package comment.
+func Check(t TB) func() {
+	before := snapshot()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(maxWait)
+		var leaked []string
+		for {
+			leaked = diff(before, snapshot())
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("leaktest: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n"))
+	}
+}
+
+// snapshot returns the multiset of live goroutine signatures.
+func snapshot() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	counts := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		sig := signature(g)
+		if sig == "" {
+			continue
+		}
+		counts[sig]++
+	}
+	return counts
+}
+
+// signature compresses one goroutine dump into a stable identity: the
+// chain of function names, oldest frame first, with arguments, pointers
+// and code offsets stripped. Harness and runtime goroutines — the test
+// framework's own machinery — are filtered out (empty signature).
+func signature(g string) string {
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return ""
+	}
+	var funcs []string
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, "\t") || strings.HasPrefix(line, "created by ") {
+			continue
+		}
+		name := line
+		if i := strings.LastIndex(name, "("); i > 0 {
+			name = name[:i]
+		}
+		funcs = append(funcs, name)
+	}
+	if len(funcs) == 0 {
+		return ""
+	}
+	for _, f := range funcs {
+		switch {
+		case strings.HasPrefix(f, "testing."),
+			strings.HasPrefix(f, "runtime.goexit"),
+			strings.HasPrefix(f, "runtime.gc"),
+			strings.HasPrefix(f, "runtime.bgsweep"),
+			strings.HasPrefix(f, "runtime.bgscavenge"),
+			strings.HasPrefix(f, "runtime.forcegchelper"),
+			strings.HasPrefix(f, "runtime.ReadTrace"),
+			strings.HasPrefix(f, "runtime/trace"),
+			strings.HasPrefix(f, "os/signal."):
+			return ""
+		}
+	}
+	// Oldest frame first so related goroutines sort together in reports.
+	for i, j := 0, len(funcs)-1; i < j; i, j = i+1, j-1 {
+		funcs[i], funcs[j] = funcs[j], funcs[i]
+	}
+	return strings.Join(funcs, " -> ")
+}
+
+// diff reports signatures with more live goroutines after than before.
+func diff(before, after map[string]int) []string {
+	var out []string
+	for sig, n := range after {
+		if extra := n - before[sig]; extra > 0 {
+			out = append(out, fmt.Sprintf("  %dx %s", extra, sig))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingTB captures Errorf calls instead of failing the real test.
+type recordingTB struct {
+	failed bool
+	msg    string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = strings.TrimSpace(format)
+}
+
+func TestNoLeakPasses(t *testing.T) {
+	rt := &recordingTB{}
+	check := Check(rt)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+	if rt.failed {
+		t.Fatalf("clean run reported a leak: %s", rt.msg)
+	}
+}
+
+func TestSlowExitWithinGraceWindowPasses(t *testing.T) {
+	rt := &recordingTB{}
+	check := Check(rt)
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	check() // the retry loop must absorb the 50ms straggler
+	if rt.failed {
+		t.Fatalf("straggler within grace window reported as leak: %s", rt.msg)
+	}
+}
+
+func TestLeakIsDetected(t *testing.T) {
+	rt := &recordingTB{}
+	check := Check(rt)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // alive until after check()
+	check()
+	if !rt.failed {
+		t.Fatal("leaked goroutine not detected")
+	}
+}
+
+func TestPreexistingGoroutinesAreIgnored(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // born BEFORE the snapshot
+	rt := &recordingTB{}
+	Check(rt)()
+	if rt.failed {
+		t.Fatalf("pre-existing goroutine reported as leak: %s", rt.msg)
+	}
+}

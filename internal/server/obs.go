@@ -42,6 +42,10 @@ type serverMetrics struct {
 	batchErrs *obs.Counter
 	truncated *obs.Counter
 	shed      *obs.Counter
+	degraded  *obs.Counter
+	trips     *obs.Counter
+	reloads   *obs.Counter
+	reloadErr *obs.Counter
 	latencyUS *obs.Histogram
 }
 
@@ -56,6 +60,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		batchErrs: reg.Counter(`kpj_http_errors_total{route="batch"}`, "/batch requests answered with an error status"),
 		truncated: reg.Counter("kpj_http_truncated_total", "queries answered with truncated partial results"),
 		shed:      reg.Counter("kpj_http_shed_total", "requests shed with 503 by the in-flight limiter"),
+		degraded:  reg.Counter("kpj_http_degraded_total", "queries answered under the circuit breaker's degraded profile"),
+		trips:     reg.Counter("kpj_http_breaker_trips_total", "circuit breaker open transitions"),
+		reloads:   reg.Counter(`kpj_http_index_reloads_total{result="ok"}`, "successful index hot-reloads"),
+		reloadErr: reg.Counter(`kpj_http_index_reloads_total{result="error"}`, "index hot-reloads rejected (old index kept)"),
 		// 64µs..~67s in 21 half-decade-ish steps: spans interactive
 		// queries through deadline-bound worst cases.
 		latencyUS: reg.Histogram("kpj_http_request_micros", "query/batch request latency in microseconds",
@@ -94,6 +102,31 @@ func (m *serverMetrics) observeShed() {
 		return
 	}
 	m.shed.Inc()
+}
+
+func (m *serverMetrics) observeDegraded() {
+	if m == nil {
+		return
+	}
+	m.degraded.Inc()
+}
+
+func (m *serverMetrics) observeTrip() {
+	if m == nil {
+		return
+	}
+	m.trips.Inc()
+}
+
+func (m *serverMetrics) observeReload(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.reloads.Inc()
+	} else {
+		m.reloadErr.Inc()
+	}
 }
 
 // installObs wires the observability endpoints; called from New after all

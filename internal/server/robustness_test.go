@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kpj"
+	"kpj/internal/leaktest"
 )
 
 // slowServer serves a 100×100 grid whose corner-to-corner top-k queries
@@ -44,6 +45,7 @@ func slowServer(t *testing.T, opts ...Option) *Server {
 }
 
 func TestQueryTimeoutReturnsTruncated(t *testing.T) {
+	defer leaktest.Check(t)()
 	const timeout = 5 * time.Millisecond
 	s := slowServer(t, WithTimeout(timeout))
 	start := time.Now()
@@ -109,6 +111,7 @@ func TestServerWideBudgetOption(t *testing.T) {
 // TestInFlightLimiter: with the single slot occupied, /query and /batch
 // are shed with 503 + Retry-After; once the slot frees, queries succeed.
 func TestInFlightLimiter(t *testing.T) {
+	defer leaktest.Check(t)()
 	s, _ := testServer(t, WithMaxInFlight(1))
 	s.inflight <- struct{}{} // occupy the only slot
 
@@ -173,6 +176,7 @@ func TestPanicRecovery(t *testing.T) {
 // per-request contexts end when connections drop, so no query outlives
 // the server.
 func TestShutdownUnderLoad(t *testing.T) {
+	defer leaktest.Check(t)()
 	s := slowServer(t, WithTimeout(10*time.Millisecond), WithMaxInFlight(8))
 	ts := httptest.NewServer(s)
 	client := ts.Client()

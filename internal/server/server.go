@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"kpj"
@@ -42,8 +43,12 @@ import (
 // short by a deadline or budget still return the paths found so far,
 // marked "truncated": true.
 type Server struct {
-	g   *kpj.Graph
-	ix  *kpj.Index
+	g *kpj.Graph
+	// ix holds the current landmark index behind an atomic pointer so a
+	// SIGHUP-driven ReloadIndex can swap it while requests are in flight:
+	// each request loads the pointer once and runs entirely against that
+	// snapshot (indexes are immutable). May hold nil (no index).
+	ix  atomic.Pointer[kpj.Index]
 	mux *http.ServeMux
 	// maxK bounds per-request k to keep one request from monopolizing
 	// the process.
@@ -74,6 +79,11 @@ type Server struct {
 	met *serverMetrics
 	// pprofOn (WithPprof) exposes net/http/pprof under /debug/pprof/.
 	pprofOn bool
+	// breakers, when non-empty (WithBreaker), holds one circuit breaker
+	// per algorithm; see resilience.go for the degradation ladder.
+	breakers         map[kpj.Algorithm]*breaker
+	breakerThreshold int
+	breakerProbes    int
 }
 
 // Option configures a Server.
@@ -132,12 +142,21 @@ func WithBoundsCacheSize(n int) Option {
 
 // New builds a Server over g with an optional landmark index.
 func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
-	s := &Server{g: g, ix: ix, mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
+	s := &Server{g: g, mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
+	s.ix.Store(ix)
 	for _, o := range opts {
 		o(s)
 	}
 	if ix != nil && s.cacheSize >= 0 {
 		s.cache = kpj.NewBoundsCache(s.cacheSize)
+	}
+	if s.breakerThreshold > 0 {
+		s.breakers = make(map[kpj.Algorithm]*breaker)
+		for _, alg := range algorithmByName {
+			if s.breakers[alg] == nil {
+				s.breakers[alg] = &breaker{threshold: s.breakerThreshold, probes: s.breakerProbes}
+			}
+		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
@@ -206,8 +225,12 @@ type QueryResponse struct {
 	TimeoutMicros int64 `json:"timeoutMicros,omitempty"`
 	// Truncated marks degraded results: the query hit its deadline or
 	// work budget and Paths holds only the prefix found in time.
-	Truncated bool       `json:"truncated,omitempty"`
-	Stats     *kpj.Stats `json:"stats,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Degraded marks a response produced in the circuit breaker's degraded
+	// execution profile (serial, cache-bypassed); also sent as the
+	// X-Kpj-Degraded header. The paths are exact — only latency differs.
+	Degraded bool       `json:"degraded,omitempty"`
+	Stats    *kpj.Stats `json:"stats,omitempty"`
 	// Spans, present with spans=1, is the query's phase timeline:
 	// {"spans":[{name,n,startMicros,durMicros,val}...],"dropped":N}.
 	Spans json.RawMessage `json:"spans,omitempty"`
@@ -228,13 +251,24 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":     "ok",
 		"nodes":      s.g.NumNodes(),
 		"edges":      s.g.NumEdges(),
 		"categories": len(s.g.Categories()),
-		"indexed":    s.ix != nil,
-	})
+		"indexed":    s.index() != nil,
+	}
+	if len(s.breakers) > 0 {
+		states := map[string]string{}
+		for name, alg := range algorithmByName {
+			if name == "" {
+				continue
+			}
+			states[name] = s.breakers[alg].state()
+		}
+		body["breakers"] = states
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleCategories(w http.ResponseWriter, _ *http.Request) {
@@ -325,7 +359,7 @@ func (s *Server) parseQuery(get func(string) string, withStats, withSpans bool) 
 	if !ok {
 		return p, fmt.Errorf("unknown alg %q", get("alg"))
 	}
-	p.opt = &kpj.Options{Algorithm: algo, Index: s.ix,
+	p.opt = &kpj.Options{Algorithm: algo, Index: s.index(),
 		Parallelism: s.parallelism, BoundsCache: s.cache}
 	if as := get("alpha"); as != "" {
 		alpha, err := strconv.ParseFloat(as, 64)
@@ -367,27 +401,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.budget > 0 && p.opt.Budget == 0 {
 		p.opt.Budget = s.budget
 	}
+	br := s.breakers[p.opt.Algorithm]
+	degraded := br.degraded()
+	if degraded {
+		p.degrade()
+	}
 	start := time.Now()
-	paths, err := s.g.TopKJoinSets(p.sources, p.targets, p.k, p.opt)
+	paths, qerr := s.execQuery(p)
+	if qerr != nil && kpj.IsInvalidQuery(qerr) {
+		writeError(w, http.StatusBadRequest, "%v", qerr)
+		s.met.observeQuery(reqStart, true, false)
+		return
+	}
+	if br.record(!faultedQuery(qerr)) {
+		s.logf("server: circuit breaker opened for alg %q after: %v", r.URL.Query().Get("alg"), qerr)
+		s.met.observeTrip()
+	}
+	// A query that faulted at full power may succeed under the degraded
+	// profile (serial, no shared cache) — when the breaker is now open and
+	// this attempt ran at full power, retry once degraded before failing
+	// the request.
+	if faultedQuery(qerr) && !degraded && br.degraded() {
+		degraded = true
+		p.degrade()
+		paths, qerr = s.execQuery(p)
+		br.record(!faultedQuery(qerr))
+	}
 	truncated := false
-	if err != nil {
-		if partial, ok := kpj.Truncated(err); ok {
+	if qerr != nil {
+		if partial, ok := kpj.Truncated(qerr); ok {
 			paths, truncated = partial, true
-		} else if kpj.IsInvalidQuery(err) {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			s.met.observeQuery(reqStart, true, false)
-			return
 		} else {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, "%v", qerr)
 			s.met.observeQuery(reqStart, true, false)
 			return
 		}
+	}
+	if degraded {
+		w.Header().Set("X-Kpj-Degraded", "1")
+		s.met.observeDegraded()
 	}
 	resp := QueryResponse{
 		Paths:         make([]PathJSON, len(paths)),
 		Micros:        time.Since(start).Microseconds(),
 		TimeoutMicros: s.timeout.Microseconds(),
 		Truncated:     truncated,
+		Degraded:      degraded,
 		Stats:         p.opt.Stats,
 	}
 	for i, path := range paths {
@@ -465,7 +524,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Batches parallelize across queries (one worker per core); stacking
 	// intra-query parallelism on top would oversubscribe, so it stays off.
 	results := s.g.BatchContext(ctx, queries, 0, &kpj.Options{
-		Index: s.ix, Budget: s.budget, BoundsCache: s.cache})
+		Index: s.index(), Budget: s.budget, BoundsCache: s.cache})
 	out := make([]BatchResponseItem, len(items))
 	var truncatedItems int64
 	for i := range items {

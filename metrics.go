@@ -1,8 +1,6 @@
 package kpj
 
 import (
-	"errors"
-
 	"kpj/internal/core"
 	"kpj/internal/landmark"
 	"kpj/internal/obs"
@@ -79,7 +77,9 @@ func observeQuery(st *Stats, budget int64, err error) {
 	if em == nil {
 		return
 	}
-	truncated := err != nil &&
-		(errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExceeded))
+	// Classify by the wrapper, not an errors.Is allowlist: any
+	// *TruncatedError (cancellation, budget, injected fault, recovered
+	// panic) counts as truncated, everything else non-nil as a query error.
+	_, truncated := Truncated(err)
 	em.ObserveQuery(st, truncated, err != nil && !truncated, budget > 0)
 }

@@ -1,0 +1,137 @@
+// Command kpjrouter fronts N kpjserver replicas with the resilient
+// routing tier in internal/router: consistent-hash cache affinity,
+// health-probed failover, and hedged requests.
+//
+// Usage:
+//
+//	kpjrouter -replicas http://10.0.0.7:8080,http://10.0.0.8:8080 \
+//	          -addr :8090 -probeinterval 500ms -hedgeafter 0
+//
+// Each -replicas entry is a base URL, optionally prefixed "name=" to pin
+// the replica's stable hash-ring identity (defaults to r0, r1, ...).
+// Keep names stable across router restarts and replica address changes,
+// or cache affinity resets.
+//
+// Endpoints:
+//
+//	GET  /healthz     router + per-replica states and probed breakers
+//	GET  /readyz      200 while at least one replica is routable
+//	GET  /query       routed with affinity, hedging, and failover
+//	POST /batch       routed (body buffered so failover can replay it)
+//	GET  /categories  routed to any up replica
+//
+// Responses carry X-Kpj-Replica naming the backend that answered, with
+// X-Kpj-Degraded and Retry-After passed through from it unchanged.
+// Router-originated failures are typed JSON errors ({"error","kind"} +
+// X-Kpj-Error-Kind), never untyped 5xx. -hedgeafter 0 adapts the hedge
+// threshold to observed latency; a fixed duration pins it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kpj"
+	"kpj/internal/router"
+)
+
+func main() {
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs, each optionally name=url (required)")
+	addr := flag.String("addr", ":8090", "listen address")
+	probeInterval := flag.Duration("probeinterval", 500*time.Millisecond, "health-probe interval for up replicas")
+	probeTimeout := flag.Duration("probetimeout", time.Second, "per-probe request deadline")
+	downAfter := flag.Int("downafter", 2, "consecutive probe failures before a replica is down")
+	hedgeAfter := flag.Duration("hedgeafter", 0, "fixed hedge delay; 0 adapts to observed latency")
+	maxHedge := flag.Duration("maxhedge", time.Second, "adaptive hedge-delay ceiling")
+	maxAttempts := flag.Int("maxattempts", 3, "attempt cap per request, hedges included")
+	retryBudget := flag.Int("retrybudget", 64, "retry token bucket capacity bounding fleet-wide retry amplification")
+	reqTimeout := flag.Duration("reqtimeout", 30*time.Second, "per-attempt upstream deadline")
+	seed := flag.Int64("seed", 1, "probe-jitter seed")
+	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus) and /debug/vars")
+	drain := flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+	flag.Parse()
+
+	if err := run(*replicas, *addr, *probeInterval, *probeTimeout, *downAfter, *hedgeAfter,
+		*maxHedge, *maxAttempts, *retryBudget, *reqTimeout, *seed, *metrics, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "kpjrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(replicas, addr string, probeInterval, probeTimeout time.Duration, downAfter int,
+	hedgeAfter, maxHedge time.Duration, maxAttempts, retryBudget int, reqTimeout time.Duration,
+	seed int64, metrics bool, drain time.Duration) error {
+	cfg := router.Config{
+		Replicas:       parseReplicas(replicas),
+		ProbeInterval:  probeInterval,
+		ProbeTimeout:   probeTimeout,
+		DownAfter:      downAfter,
+		HedgeAfter:     hedgeAfter,
+		MaxHedge:       maxHedge,
+		MaxAttempts:    maxAttempts,
+		RetryBudget:    retryBudget,
+		RequestTimeout: reqTimeout,
+		Seed:           seed,
+	}
+	if metrics {
+		cfg.Metrics = kpj.NewMetricsRegistry()
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("routing to %d replicas on %s\n", len(cfg.Replicas), addr)
+	if metrics {
+		fmt.Println("metrics on /metrics and /debug/vars")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Printf("shutting down (draining up to %v)...\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// parseReplicas splits "-replicas a,b,name=c" into configs; URL
+// validation happens in router.New.
+func parseReplicas(s string) []router.ReplicaConfig {
+	var out []router.ReplicaConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rc := router.ReplicaConfig{URL: part}
+		if name, u, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			rc.Name, rc.URL = name, u
+		}
+		out = append(out, rc)
+	}
+	return out
+}

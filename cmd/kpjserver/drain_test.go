@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"kpj/internal/fault"
+)
+
+// TestDrainAndShutdown exercises the graceful-shutdown path end to end
+// on a real listener: an in-flight query held open by an injected
+// latency fault must finish with 200 while the drain is underway, late
+// arrivals are shed with 503, and drainAndShutdown returns as soon as
+// the in-flight work completes — well inside the drain window.
+func TestDrainAndShutdown(t *testing.T) {
+	app, _ := testApp(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: app}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Warm request proves the listener serves before the drain starts
+	// (testApp has no POI categories, so queries here are KSP ones).
+	resp, err := http.Get(base + "/query?source=0&target=1&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Hold the next /query open at the server.handler fault point long
+	// enough to still be in flight when the drain begins.
+	const hold = 400 * time.Millisecond
+	reg := fault.New().Add(fault.Rule{
+		Point: fault.ServerHandler, Nth: 1, Count: 1,
+		Kind: fault.KindLatency, Delay: hold,
+	})
+	fault.Install(reg)
+	defer fault.Install(nil)
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/query?source=0&target=24&k=2")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: b, err: err}
+	}()
+
+	// Wait until that query is inside the handler (the fault point
+	// increments its hit counter before sleeping).
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Hits(fault.ServerHandler) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight query never reached the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain mode on: late arrivals are shed with 503 + Retry-After while
+	// the listener is still open, and /readyz tells routers to back off.
+	app.StartDraining()
+	late, err := http.Get(base + "/query?source=1&target=24&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateBody, _ := io.ReadAll(late.Body)
+	late.Body.Close()
+	if late.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("late arrival: status %d (%s), want 503", late.StatusCode, lateBody)
+	}
+	if late.Header.Get("Retry-After") == "" {
+		t.Fatal("late arrival shed without Retry-After")
+	}
+	if ready, err := http.Get(base + "/readyz"); err != nil || ready.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %v %v", ready, err)
+	} else {
+		ready.Body.Close()
+	}
+
+	// The full shutdown: returns once the held query finishes, far
+	// before the drain window expires.
+	start := time.Now()
+	if err := drainAndShutdown(app, srv, 10*time.Second); err != nil {
+		t.Fatalf("drainAndShutdown: %v", err)
+	}
+	if took := time.Since(start); took >= 5*time.Second {
+		t.Fatalf("shutdown took %v, should return when in-flight work ends", took)
+	}
+
+	res := <-inflight
+	if res.err != nil || res.status != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status %d err %v (%s)", res.status, res.err, res.body)
+	}
+	var out struct {
+		Paths []json.RawMessage `json:"paths"`
+	}
+	if err := json.Unmarshal(res.body, &out); err != nil || len(out.Paths) != 2 {
+		t.Fatalf("in-flight query returned %s (err %v), want 2 paths", res.body, err)
+	}
+
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// The listener is gone: new connections must fail outright.
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+}

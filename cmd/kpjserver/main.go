@@ -15,7 +15,8 @@
 //
 // Queries that exceed -timeout or -budget return the paths found so far
 // with "truncated": true; requests beyond -maxinflight are shed with 503.
-// SIGINT/SIGTERM drain in-flight requests before exiting. With -index,
+// SIGINT/SIGTERM flip /readyz to 503, shed late arrivals, and drain
+// in-flight requests for up to -draintimeout before exiting. With -index,
 // SIGHUP re-reads the index file and atomically swaps it in (a failed
 // reload logs the error and keeps serving the old index). -breaker N
 // arms a per-algorithm circuit breaker: N consecutive internal failures
@@ -50,7 +51,8 @@ func main() {
 	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries before shedding with 503 (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 1, "worker goroutines per query's subspace searches (<= 1 sequential; identical results)")
 	cacheSize := flag.Int("cachesize", 0, "cross-request bound-table cache entries (0 = default 128, negative disables)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+	drain := flag.Duration("draintimeout", 10*time.Second, "bound on the graceful-shutdown drain window: in-flight queries get this long to finish after SIGINT/SIGTERM while late arrivals are shed with 503")
+	flag.DurationVar(drain, "drain", 10*time.Second, "deprecated alias for -draintimeout")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus) and /debug/vars, and collect engine counters")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
 	breaker := flag.Int("breaker", 0, "consecutive internal failures per algorithm before degrading it to serial cache-bypassed execution (0 = disabled)")
@@ -165,13 +167,23 @@ func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr 
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills immediately
 		fmt.Printf("shutting down (draining up to %v)...\n", drain)
-		sctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
+		if err := drainAndShutdown(app, srv, drain); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
 		return nil
 	}
+}
+
+// drainAndShutdown bounds graceful shutdown by -draintimeout: readiness
+// flips off first (so /readyz turns 503 and routers stop sending traffic,
+// and late arrivals on kept-alive connections are shed with 503), then
+// the listener closes and in-flight queries get the remainder of the
+// window to finish before their connections are dropped.
+func drainAndShutdown(app *server.Server, srv *http.Server, timeout time.Duration) error {
+	app.StartDraining()
+	sctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return srv.Shutdown(sctx)
 }
 
 // watchReload hot-reloads the index from path each time a signal (SIGHUP

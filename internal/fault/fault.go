@@ -63,6 +63,13 @@ const (
 	// BatchWorker fires once per batch item attempt; transient errors
 	// here are retried with backoff.
 	BatchWorker Point = "batch.worker"
+	// RouterProxy fires in internal/router once per proxied attempt
+	// (primary, hedge, or failover), on the attempt goroutine. Panics
+	// here are recovered and classified as attempt failures.
+	RouterProxy Point = "router.proxy"
+	// RouterProbe fires in internal/router once per health-probe cycle.
+	// Panics here are recovered and count as probe failures.
+	RouterProbe Point = "router.probe"
 )
 
 // Points lists every fault point compiled into the tree, in a fixed
@@ -70,6 +77,7 @@ const (
 var Points = []Point{
 	GraphRead, IndexLoad, IndexBuild, PoolWorker, SubspaceSearch,
 	SPTGrow, CacheInsert, ServerHandler, BatchWorker,
+	RouterProxy, RouterProbe,
 }
 
 // QueryPoints are the points hit during query execution (as opposed to
@@ -86,6 +94,8 @@ var PanicSafePoints = map[Point]bool{
 	PoolWorker:    true,
 	ServerHandler: true,
 	BatchWorker:   true,
+	RouterProxy:   true,
+	RouterProbe:   true,
 }
 
 // Injection sentinels. Every injected error wraps ErrInjected;

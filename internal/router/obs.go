@@ -1,0 +1,128 @@
+package router
+
+import (
+	"time"
+
+	"kpj/internal/obs"
+)
+
+// routerMetrics is the kpj_router_* instrument set. A nil *routerMetrics
+// (Config.Metrics unset) records nothing; every method is nil-safe so
+// the hot path calls them unconditionally, matching the discipline of
+// internal/obs and the server's kpj_http_* set.
+type routerMetrics struct {
+	reqs      map[string]*obs.Counter
+	errs      map[string]*obs.Counter
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	failovers *obs.Counter
+	denied    *obs.Counter
+	probes    *obs.Counter
+	probeErrs *obs.Counter
+	toState   map[State]*obs.Counter
+	latencyUS *obs.Histogram
+}
+
+func newRouterMetrics(reg *obs.Registry, rt *Router) *routerMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &routerMetrics{
+		reqs: map[string]*obs.Counter{
+			"query":      reg.Counter(`kpj_router_requests_total{route="query"}`, "completed /query requests"),
+			"batch":      reg.Counter(`kpj_router_requests_total{route="batch"}`, "completed /batch requests"),
+			"categories": reg.Counter(`kpj_router_requests_total{route="categories"}`, "completed /categories requests"),
+		},
+		errs: map[string]*obs.Counter{
+			"query":      reg.Counter(`kpj_router_errors_total{route="query"}`, "/query requests answered with a typed router error"),
+			"batch":      reg.Counter(`kpj_router_errors_total{route="batch"}`, "/batch requests answered with a typed router error"),
+			"categories": reg.Counter(`kpj_router_errors_total{route="categories"}`, "/categories requests answered with a typed router error"),
+		},
+		hedges:    reg.Counter("kpj_router_hedges_total", "hedge attempts launched after the latency threshold"),
+		hedgeWins: reg.Counter("kpj_router_hedge_wins_total", "requests won by a non-primary attempt"),
+		failovers: reg.Counter("kpj_router_failovers_total", "attempts that failed and moved to the next candidate"),
+		denied:    reg.Counter("kpj_router_retry_denied_total", "retries or hedges suppressed by an empty retry budget"),
+		probes:    reg.Counter(`kpj_router_probes_total{result="ok"}`, "clean health probes"),
+		probeErrs: reg.Counter(`kpj_router_probes_total{result="error"}`, "failed health probes"),
+		toState: map[State]*obs.Counter{
+			StateHealthy:  reg.Counter(`kpj_router_transitions_total{to="healthy"}`, "replica transitions into healthy"),
+			StateDegraded: reg.Counter(`kpj_router_transitions_total{to="degraded"}`, "replica transitions into degraded"),
+			StateDown:     reg.Counter(`kpj_router_transitions_total{to="down"}`, "replica transitions into down"),
+		},
+		// Same layout as kpj_http_request_micros so replica and router
+		// latency histograms line up on a shared dashboard axis.
+		latencyUS: reg.Histogram("kpj_router_request_micros", "routed request latency in microseconds",
+			obs.ExpBuckets(64, 2, 21)),
+	}
+	for st, name := range map[State]string{StateHealthy: "healthy", StateDegraded: "degraded", StateDown: "down"} {
+		st, name := st, name
+		reg.GaugeFunc(`kpj_router_replicas{state="`+name+`"}`, "replicas currently in state "+name, func() int64 {
+			var n int64
+			for _, rp := range rt.topo.Load().reps {
+				if rp.State() == st {
+					n++
+				}
+			}
+			return n
+		})
+	}
+	return m
+}
+
+func (m *routerMetrics) observeRequest(route string, d time.Duration, res attemptResult) {
+	if m == nil {
+		return
+	}
+	m.reqs[route].Inc()
+	if !res.usable() {
+		m.errs[route].Inc()
+	}
+	m.latencyUS.Observe(d.Microseconds())
+}
+
+func (m *routerMetrics) observeHedge() {
+	if m == nil {
+		return
+	}
+	m.hedges.Inc()
+}
+
+// observeExtraWin counts a request answered by a non-primary attempt.
+func (m *routerMetrics) observeExtraWin(order int, hedged bool) {
+	if m == nil {
+		return
+	}
+	m.hedgeWins.Inc()
+}
+
+func (m *routerMetrics) observeFailover() {
+	if m == nil {
+		return
+	}
+	m.failovers.Inc()
+}
+
+func (m *routerMetrics) observeBudgetDenied() {
+	if m == nil {
+		return
+	}
+	m.denied.Inc()
+}
+
+func (m *routerMetrics) observeProbe(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.probes.Inc()
+	} else {
+		m.probeErrs.Inc()
+	}
+}
+
+func (m *routerMetrics) observeTransition(to State) {
+	if m == nil {
+		return
+	}
+	m.toState[to].Inc()
+}

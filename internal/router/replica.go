@@ -1,0 +1,284 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kpj/internal/fault"
+)
+
+// State is one replica's routability, driven by the probe loop.
+type State int32
+
+const (
+	// StateDown: unreachable, not ready (draining), or repeatedly failing
+	// probes. Routed to only as a last resort when nothing better is up.
+	StateDown State = iota
+	// StateDegraded: serving, but /healthz reports at least one open
+	// per-algorithm circuit breaker; avoided for queries of that
+	// algorithm when a breaker-closed replica exists.
+	StateDegraded
+	// StateHealthy: ready with every breaker closed.
+	StateHealthy
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// replica is one backend kpjserver as the router sees it. State and the
+// probed breaker set are written only by the probe loop and the passive
+// request-failure path; the hot request path reads them lock-free
+// (state) or under a short mutex (breakers).
+type replica struct {
+	name string
+	base *url.URL
+
+	state atomic.Int32 // State; replicas start Down until the first probe
+	fp    atomic.Uint64
+
+	mu       sync.Mutex
+	breakers map[string]bool // algorithm name -> breaker open
+	fails    int             // consecutive probe/request failures
+
+	// Probe-loop lifecycle: cancel stops the loop, done closes when it
+	// has exited — RemoveReplica and Close wait on it.
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (rp *replica) State() State { return State(rp.state.Load()) }
+
+// breakerOpen reports whether the last probe saw this algorithm's
+// breaker open on the replica.
+func (rp *replica) breakerOpen(alg string) bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.breakers[alg]
+}
+
+func (rp *replica) breakerSnapshot() map[string]string {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	out := make(map[string]string, len(rp.breakers))
+	for alg, open := range rp.breakers {
+		if open {
+			out[alg] = "open"
+		} else {
+			out[alg] = "closed"
+		}
+	}
+	return out
+}
+
+// probeLoop re-probes rp until ctx is canceled: every ProbeInterval
+// while the replica is up, and on a jittered exponential backoff while
+// it is down — a dead replica is not hammered, and the jitter keeps N
+// routers from probing it in lockstep.
+func (rt *Router) probeLoop(ctx context.Context, rp *replica) {
+	defer close(rp.done)
+	delay := time.Duration(0) // probe immediately on start
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-rt.clock.After(delay):
+		}
+		rt.probe(ctx, rp)
+		delay = rt.nextProbeDelay(rp)
+	}
+}
+
+// probe runs one health-check cycle: /readyz decides up vs. down (a
+// draining or index-less replica reports not-ready and stops receiving
+// traffic before its listener closes), then /healthz supplies the
+// per-algorithm breaker states that grade up into healthy vs. degraded.
+func (rt *Router) probe(ctx context.Context, rp *replica) {
+	defer func() {
+		if p := recover(); p != nil {
+			rt.noteFailure(rp, fmt.Errorf("probe panic: %v", p))
+		}
+	}()
+	if err := fault.Hit(fault.RouterProbe); err != nil {
+		rt.noteFailure(rp, err)
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+
+	ready, fp, err := rt.fetchReadyz(pctx, rp)
+	if err != nil {
+		rt.noteFailure(rp, err)
+		return
+	}
+	if !ready {
+		rt.noteFailure(rp, fmt.Errorf("not ready"))
+		return
+	}
+	breakers, err := rt.fetchBreakers(pctx, rp)
+	if err != nil {
+		rt.noteFailure(rp, err)
+		return
+	}
+	rt.noteSuccess(rp, fp, breakers)
+}
+
+// readyzBody and healthzBody mirror the fields internal/server emits.
+type readyzBody struct {
+	Ready       bool   `json:"ready"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type healthzBody struct {
+	Breakers    map[string]string `json:"breakers"`
+	Fingerprint string            `json:"fingerprint"`
+}
+
+func (rt *Router) fetchReadyz(ctx context.Context, rp *replica) (ready bool, fp uint64, err error) {
+	var body readyzBody
+	status, err := rt.getJSON(ctx, rp, "/readyz", &body)
+	if err != nil {
+		return false, 0, err
+	}
+	fp, _ = strconv.ParseUint(body.Fingerprint, 16, 64)
+	return status == http.StatusOK && body.Ready, fp, nil
+}
+
+func (rt *Router) fetchBreakers(ctx context.Context, rp *replica) (map[string]bool, error) {
+	var body healthzBody
+	status, err := rt.getJSON(ctx, rp, "/healthz", &body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("healthz status %d", status)
+	}
+	open := make(map[string]bool, len(body.Breakers))
+	for alg, state := range body.Breakers {
+		open[alg] = state != "closed"
+	}
+	return open, nil
+}
+
+func (rt *Router) getJSON(ctx context.Context, rp *replica, path string, out any) (int, error) {
+	u := *rp.base
+	u.Path = path
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return resp.StatusCode, fmt.Errorf("%s: bad JSON: %w", path, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// noteFailure folds one failed probe (or failed proxied request) into
+// the state machine: DownAfter consecutive failures mark the replica
+// down. The request path shares this with the probe loop so a replica
+// that dies mid-stream is sidelined immediately instead of after the
+// next probe cycle.
+func (rt *Router) noteFailure(rp *replica, err error) {
+	rp.mu.Lock()
+	rp.fails++
+	down := rp.fails >= rt.cfg.DownAfter
+	rp.mu.Unlock()
+	rt.met.observeProbe(false)
+	if down {
+		rt.setState(rp, StateDown, err)
+	}
+}
+
+// noteSuccess records a clean probe: fingerprint and breaker states
+// refresh, the failure streak resets, and the replica grades healthy or
+// degraded by whether any breaker is open.
+func (rt *Router) noteSuccess(rp *replica, fp uint64, breakers map[string]bool) {
+	rp.mu.Lock()
+	rp.fails = 0
+	rp.breakers = breakers
+	rp.mu.Unlock()
+	if fp != 0 {
+		rp.fp.Store(fp)
+		rt.fp.Store(fp)
+	}
+	rt.met.observeProbe(true)
+	next := StateHealthy
+	for _, open := range breakers {
+		if open {
+			next = StateDegraded
+			break
+		}
+	}
+	rt.setState(rp, next, nil)
+}
+
+// setState applies a transition, logging and counting only real edges.
+func (rt *Router) setState(rp *replica, next State, cause error) {
+	prev := State(rp.state.Swap(int32(next)))
+	if prev == next {
+		return
+	}
+	if cause != nil {
+		rt.logf("router: replica %s %s -> %s (%v)", rp.name, prev, next, cause)
+	} else {
+		rt.logf("router: replica %s %s -> %s", rp.name, prev, next)
+	}
+	rt.met.observeTransition(next)
+}
+
+// nextProbeDelay schedules the re-probe: the plain interval while the
+// replica is up; while it is down, an exponential backoff doubling per
+// consecutive failure beyond DownAfter, capped at MaxProbeBackoff, with
+// up to 50% seeded jitter added so probes decorrelate.
+func (rt *Router) nextProbeDelay(rp *replica) time.Duration {
+	rp.mu.Lock()
+	fails := rp.fails
+	rp.mu.Unlock()
+	if fails < rt.cfg.DownAfter {
+		return rt.cfg.ProbeInterval
+	}
+	backoff := rt.cfg.ProbeInterval
+	for i := rt.cfg.DownAfter; i < fails && backoff < rt.cfg.MaxProbeBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > rt.cfg.MaxProbeBackoff {
+		backoff = rt.cfg.MaxProbeBackoff
+	}
+	return backoff + rt.jitter(backoff/2)
+}
+
+// jitter draws from [0, max) using the router's seeded source, so a
+// seeded test reproduces the exact probe schedule.
+func (rt *Router) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	rt.rngMu.Lock()
+	defer rt.rngMu.Unlock()
+	return time.Duration(rt.rng.Int63n(int64(max)))
+}

@@ -1,0 +1,755 @@
+// Package router implements the replica routing tier behind cmd/kpjrouter:
+// an HTTP front that keeps KPJ queries answering while any one of N
+// kpjserver replicas is healthy.
+//
+// Routing policy, in the order it is applied to a query:
+//
+//  1. Cache affinity: the query's (index fingerprint, category set) is
+//     consistent-hashed onto the replica ring, so repeat queries for the
+//     same categories land where their landmark bound tables are already
+//     in that replica's BoundsCache.
+//  2. Breaker awareness: replicas whose /healthz reports an open circuit
+//     breaker for the requested algorithm are deprioritized; down
+//     replicas (failed probes, draining) are last-resort only.
+//  3. Hedging: if the primary has not answered after an adaptive latency
+//     threshold (EWMA + 4·deviation of observed latencies, clamped), the
+//     same request is sent to the next candidate and the first usable
+//     answer wins; the loser is canceled.
+//  4. Failover: upstream connection errors and 5xx answers move to the
+//     next candidate, bounded by MaxAttempts per request and a
+//     router-wide retry token budget so a sick fleet cannot be melted by
+//     retry amplification.
+//
+// Every router-originated failure is a typed JSON error ({"error","kind"}
+// plus an X-Kpj-Error-Kind header) — clients never see an untyped 5xx.
+// All timing flows through an injectable Clock and the fault registry
+// points router.proxy / router.probe, so the chaos suite can replay
+// failure schedules deterministically.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kpj/internal/fault"
+	"kpj/internal/obs"
+)
+
+// ReplicaConfig names one backend.
+type ReplicaConfig struct {
+	Name string // stable identity on the hash ring (and X-Kpj-Replica value)
+	URL  string // base URL, e.g. http://10.0.0.7:8080
+}
+
+// Config parameterizes a Router. Zero values take the defaults noted on
+// each field.
+type Config struct {
+	Replicas []ReplicaConfig
+
+	ProbeInterval   time.Duration // between probes of an up replica; default 500ms
+	ProbeTimeout    time.Duration // per probe-request deadline; default 1s
+	DownAfter       int           // consecutive failures that mark a replica down; default 2
+	MaxProbeBackoff time.Duration // cap on the down-replica re-probe backoff; default 8s
+
+	HedgeAfter time.Duration // fixed hedge delay; 0 = adaptive from observed latency
+	MinHedge   time.Duration // adaptive clamp floor; default 2ms
+	MaxHedge   time.Duration // adaptive clamp ceiling (and pre-warmup delay); default 1s
+
+	MaxAttempts    int           // per-request attempt cap, hedges included; default 3
+	RetryBudget    int           // retry token bucket capacity; default 64
+	RequestTimeout time.Duration // per proxied attempt; default 30s, < 0 disables
+
+	Seed      int64             // probe-jitter seed; fixed seed => reproducible schedule
+	Clock     Clock             // default: wall clock
+	Transport http.RoundTripper // default: a private http.Transport
+	Logf      func(format string, args ...any)
+	Metrics   *obs.Registry // optional: enables /metrics + /debug/vars and the kpj_router_* set
+}
+
+// topology pairs the replica slice with the ring built over it, swapped
+// atomically so the request path reads both consistently without a lock.
+type topology struct {
+	reps []*replica
+	ring *ring
+}
+
+// Router is the http.Handler. Safe for concurrent use; Close releases
+// its probe goroutines and idle connections.
+type Router struct {
+	cfg    Config
+	clock  Clock
+	client *http.Client
+	logf   func(format string, args ...any)
+	mux    *http.ServeMux
+	met    *routerMetrics
+
+	topo atomic.Pointer[topology]
+	mu   sync.Mutex // serializes topology rewrites (Add/RemoveReplica)
+
+	fp     atomic.Uint64 // latest index fingerprint reported by any ready replica
+	lat    latencyTracker
+	budget atomic.Int64 // retry tokens × tokenScale
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	closed atomic.Bool
+}
+
+// tokenScale makes the retry budget refill in fractional steps: every
+// clean primary answer earns 1/tokenScale of a token, every retry or
+// hedge spends a whole one — steady-state retry amplification is bounded
+// at ~10% on top of the initial bucket.
+const tokenScale = 10
+
+// New builds a Router over cfg.Replicas and starts one probe loop per
+// replica. The caller must Close it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: at least one replica is required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 2
+	}
+	if cfg.MaxProbeBackoff <= 0 {
+		cfg.MaxProbeBackoff = 8 * time.Second
+	}
+	if cfg.MinHedge <= 0 {
+		cfg.MinHedge = 2 * time.Millisecond
+	}
+	if cfg.MaxHedge <= 0 {
+		cfg.MaxHedge = time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 64
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{MaxIdleConnsPerHost: 16}
+	}
+
+	rt := &Router{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		client: &http.Client{Transport: transport},
+		logf:   cfg.Logf,
+		mux:    http.NewServeMux(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	rt.budget.Store(int64(cfg.RetryBudget) * tokenScale)
+
+	seen := map[string]bool{}
+	reps := make([]*replica, 0, len(cfg.Replicas))
+	for i, rc := range cfg.Replicas {
+		name := rc.Name
+		if name == "" {
+			name = fmt.Sprintf("r%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("router: duplicate replica name %q", name)
+		}
+		seen[name] = true
+		base, err := url.Parse(rc.URL)
+		if err != nil || base.Scheme == "" || base.Host == "" {
+			return nil, fmt.Errorf("router: bad replica URL %q", rc.URL)
+		}
+		reps = append(reps, &replica{name: name, base: base})
+	}
+	rt.storeTopology(reps)
+	rt.met = newRouterMetrics(cfg.Metrics, rt)
+
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /query", rt.handleQuery)
+	rt.mux.HandleFunc("POST /batch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /categories", rt.handleCategories)
+	if cfg.Metrics != nil {
+		rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = cfg.Metrics.WritePrometheus(w)
+		})
+		rt.mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = cfg.Metrics.WriteJSON(w)
+		})
+	}
+
+	for _, rp := range reps {
+		rt.startProbe(rp)
+	}
+	return rt, nil
+}
+
+// startProbe launches rp's probe loop with its own cancel, tied to the
+// router's lifetime.
+func (rt *Router) startProbe(rp *replica) {
+	var pctx context.Context
+	pctx, rp.cancel = context.WithCancel(rt.ctx)
+	rp.done = make(chan struct{})
+	go rt.probeLoop(pctx, rp)
+}
+
+// storeTopology rebuilds the ring over reps and publishes both.
+func (rt *Router) storeTopology(reps []*replica) {
+	names := make([]string, len(reps))
+	for i, rp := range reps {
+		names[i] = rp.name
+	}
+	rt.topo.Store(&topology{reps: reps, ring: buildRing(names)})
+}
+
+// AddReplica joins a new backend to the ring; it starts down and becomes
+// routable after its first clean probe.
+func (rt *Router) AddReplica(rc ReplicaConfig) error {
+	base, err := url.Parse(rc.URL)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return fmt.Errorf("router: bad replica URL %q", rc.URL)
+	}
+	if rc.Name == "" {
+		return fmt.Errorf("router: replica name is required")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	old := rt.topo.Load().reps
+	for _, rp := range old {
+		if rp.name == rc.Name {
+			return fmt.Errorf("router: duplicate replica name %q", rc.Name)
+		}
+	}
+	rp := &replica{name: rc.Name, base: base}
+	rt.storeTopology(append(append([]*replica{}, old...), rp))
+	rt.startProbe(rp)
+	return nil
+}
+
+// RemoveReplica takes a backend out of the ring and stops its probe
+// loop, waiting for the goroutine to exit. In-flight requests already
+// proxying to it finish; new requests no longer select it. Only the keys
+// it owned move, to their next ring successor.
+func (rt *Router) RemoveReplica(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	old := rt.topo.Load().reps
+	keep := make([]*replica, 0, len(old))
+	var removed *replica
+	for _, rp := range old {
+		if rp.name == name {
+			removed = rp
+		} else {
+			keep = append(keep, rp)
+		}
+	}
+	if removed == nil {
+		return fmt.Errorf("router: no replica named %q", name)
+	}
+	if len(keep) == 0 {
+		return fmt.Errorf("router: cannot remove the last replica %q", name)
+	}
+	rt.storeTopology(keep)
+	removed.cancel()
+	<-removed.done
+	return nil
+}
+
+// Close stops every probe loop and releases idle backend connections.
+// Idempotent; the Router must not serve requests afterwards.
+func (rt *Router) Close() {
+	if rt.closed.Swap(true) {
+		return
+	}
+	rt.cancel()
+	for _, rp := range rt.topo.Load().reps {
+		<-rp.done
+	}
+	if t, ok := rt.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// ServeHTTP implements http.Handler with blanket panic recovery: a bug
+// anywhere below answers a typed 500, never a dead routing tier.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			rt.logf("router: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			writeTypedError(w, http.StatusInternalServerError, kindInternal, "internal error")
+		}
+	}()
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Error kinds carried in the JSON body and X-Kpj-Error-Kind header of
+// every router-originated failure.
+const (
+	kindUnavailable = "unavailable" // no replica could answer; retryable
+	kindUpstream    = "upstream"    // attempts exhausted on upstream 5xx
+	kindCanceled    = "canceled"    // the client went away mid-request
+	kindInternal    = "internal"    // router bug (recovered panic)
+	kindBadRequest  = "bad-request" // malformed before any replica was tried
+)
+
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeTypedError(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Kpj-Error-Kind", kind)
+	if status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...), Kind: kind})
+}
+
+// normalizeAlg maps the wire `alg` parameter onto the breaker-state key
+// /healthz reports for it ("" selects the default engine).
+func normalizeAlg(alg string) string {
+	if alg == "" {
+		return "IterBoundI"
+	}
+	return alg
+}
+
+// categorySet extracts the query's category names, sorted, for the
+// affinity key.
+func categorySet(vals url.Values) []string {
+	var cats []string
+	if c := vals.Get("sourceCategory"); c != "" {
+		cats = append(cats, c)
+	}
+	if c := vals.Get("category"); c != "" {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := rt.clock.Now()
+	q := r.URL.Query()
+	alg := normalizeAlg(q.Get("alg"))
+	key := affinityKey(rt.fp.Load(), categorySet(q))
+	res := rt.do(r.Context(), http.MethodGet, "/query", r.URL.RawQuery, nil, key, alg, true)
+	rt.met.observeRequest("query", rt.clock.Now().Sub(start), res)
+	rt.writeResult(w, res)
+}
+
+// batchAffinity is the lenient parse of a /batch body for affinity only:
+// category names across all items. Malformed bodies are not rejected
+// here — the replica owns request validation — they just hash on the
+// fingerprint alone.
+func batchAffinity(body []byte) []string {
+	var items []struct {
+		SourceCategory string `json:"sourceCategory"`
+		Category       string `json:"category"`
+	}
+	if json.Unmarshal(body, &items) != nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, it := range items {
+		if it.SourceCategory != "" {
+			set[it.SourceCategory] = true
+		}
+		if it.Category != "" {
+			set[it.Category] = true
+		}
+	}
+	cats := make([]string, 0, len(set))
+	for c := range set {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := rt.clock.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeTypedError(w, http.StatusBadRequest, kindBadRequest, "read body: %v", err)
+		return
+	}
+	key := affinityKey(rt.fp.Load(), batchAffinity(body))
+	res := rt.do(r.Context(), http.MethodPost, "/batch", "", body, key, normalizeAlg(""), true)
+	rt.met.observeRequest("batch", rt.clock.Now().Sub(start), res)
+	rt.writeResult(w, res)
+}
+
+func (rt *Router) handleCategories(w http.ResponseWriter, r *http.Request) {
+	start := rt.clock.Now()
+	res := rt.do(r.Context(), http.MethodGet, "/categories", "", nil, hashKey("categories"), normalizeAlg(""), true)
+	rt.met.observeRequest("categories", rt.clock.Now().Sub(start), res)
+	rt.writeResult(w, res)
+}
+
+// handleHealthz reports the router's own view: per-replica state and
+// probed breaker sets, the serving fingerprint, and the live hedge
+// threshold.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	reps := rt.topo.Load().reps
+	replicas := map[string]any{}
+	routable := 0
+	for _, rp := range reps {
+		st := rp.State()
+		if st != StateDown {
+			routable++
+		}
+		replicas[rp.name] = map[string]any{
+			"url":      rp.base.String(),
+			"state":    st.String(),
+			"breakers": rp.breakerSnapshot(),
+		}
+	}
+	status := "ok"
+	if routable == 0 {
+		status = "no routable replicas"
+	}
+	body := map[string]any{
+		"status":      status,
+		"replicas":    replicas,
+		"fingerprint": fmt.Sprintf("%016x", rt.fp.Load()),
+		"hedgeMicros": rt.hedgeDelay().Microseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// handleReadyz: the router is ready while at least one replica is
+// routable (not down).
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, rp := range rt.topo.Load().reps {
+		if rp.State() != StateDown {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"ready":true}` + "\n"))
+			return
+		}
+	}
+	writeTypedError(w, http.StatusServiceUnavailable, kindUnavailable, "no routable replicas")
+}
+
+// candidates orders the replicas for one request: ring-successor order
+// from the affinity key, partitioned so up replicas whose breaker for
+// the requested algorithm is closed come first, then up replicas with
+// that breaker open, then — last resort, in case every probe is stale —
+// down replicas. Element 0 is the primary; the rest are hedge/failover
+// targets in preference order.
+func (rt *Router) candidates(key uint64, alg string) []*replica {
+	topo := rt.topo.Load()
+	seq := topo.ring.sequence(key)
+	closed := make([]*replica, 0, len(seq))
+	var open, down []*replica
+	for _, i := range seq {
+		rp := topo.reps[i]
+		switch {
+		case rp.State() == StateDown:
+			down = append(down, rp)
+		case rp.breakerOpen(alg):
+			open = append(open, rp)
+		default:
+			closed = append(closed, rp)
+		}
+	}
+	return append(append(closed, open...), down...)
+}
+
+// attemptResult is one proxied attempt's outcome, buffered in full so a
+// response can be replayed to the client after losers are canceled.
+type attemptResult struct {
+	replica *replica
+	order   int // 0 = primary, >= 1 = hedge/failover
+	status  int
+	header  http.Header
+	body    []byte
+	err     error
+}
+
+// usable reports whether this attempt should be returned to the client:
+// any answer the replica produced deliberately (2xx, 4xx) is final;
+// connection errors, 5xx, and 503 sheds are failover fodder.
+func (a attemptResult) usable() bool {
+	return a.err == nil && a.status < 500
+}
+
+// do runs the hedged, breaker-aware, budget-bounded attempt loop for one
+// request. It returns the first usable answer, or the last failure once
+// candidates, the attempt cap, or the retry budget are exhausted.
+func (rt *Router) do(ctx context.Context, method, path, rawQuery string, body []byte, key uint64, alg string, hedgeOK bool) attemptResult {
+	cands := rt.candidates(key, alg)
+	if len(cands) == 0 {
+		return attemptResult{err: fmt.Errorf("no replicas configured")}
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, len(cands))
+	next := 0
+	pending := 0
+	launch := func() {
+		rp := cands[next]
+		order := next
+		next++
+		pending++
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					results <- attemptResult{replica: rp, order: order, err: fmt.Errorf("proxy panic: %v", p)}
+				}
+			}()
+			results <- rt.attempt(actx, rp, order, method, path, rawQuery, body)
+		}()
+	}
+
+	launch() // the primary attempt is free
+	var hedgeCh <-chan time.Time
+	if hedgeOK && len(cands) > 1 {
+		hedgeCh = rt.clock.After(rt.hedgeDelay())
+	}
+	start := rt.clock.Now()
+	var lastFail attemptResult
+	lastFail.err = fmt.Errorf("no attempt completed")
+	for {
+		select {
+		case <-ctx.Done():
+			return attemptResult{err: fmt.Errorf("%w", ctx.Err())}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if next < len(cands) && next < rt.cfg.MaxAttempts && rt.takeToken() {
+				rt.met.observeHedge()
+				launch()
+			}
+		case res := <-results:
+			pending--
+			if res.usable() {
+				cancel() // losers abort; their sends land in the buffered channel
+				if res.order == 0 {
+					rt.creditToken()
+				} else {
+					rt.met.observeExtraWin(res.order, hedgeCh == nil)
+				}
+				rt.lat.observe(rt.clock.Now().Sub(start))
+				return res
+			}
+			if res.err != nil {
+				// Connection-level failure: feed the replica state machine
+				// so the next request avoids this replica before the next
+				// probe cycle confirms it.
+				rt.noteFailure(res.replica, res.err)
+			}
+			lastFail = res
+			rt.met.observeFailover()
+			if next < len(cands) && next < rt.cfg.MaxAttempts && rt.takeToken() {
+				launch()
+				continue
+			}
+			if pending == 0 {
+				return lastFail
+			}
+		}
+	}
+}
+
+// attempt proxies one request to one replica, buffering the full
+// response (bounded at 32MB) so mid-stream replica death surfaces here
+// as an error rather than as a half-written client response.
+func (rt *Router) attempt(ctx context.Context, rp *replica, order int, method, path, rawQuery string, body []byte) attemptResult {
+	res := attemptResult{replica: rp, order: order}
+	if err := fault.Hit(fault.RouterProxy); err != nil {
+		res.err = err
+		return res
+	}
+	if rt.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+		defer cancel()
+	}
+	u := *rp.base
+	u.Path = path
+	u.RawQuery = rawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		res.err = fmt.Errorf("read response: %w", err)
+		return res
+	}
+	res.status, res.header, res.body = resp.StatusCode, resp.Header, b
+	return res
+}
+
+// writeResult renders an attempt outcome: usable upstream answers pass
+// through with X-Kpj-Degraded and Retry-After preserved verbatim plus an
+// X-Kpj-Replica attribution; everything else becomes a typed error.
+func (rt *Router) writeResult(w http.ResponseWriter, res attemptResult) {
+	if res.usable() {
+		if ct := res.header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		for _, h := range []string{"X-Kpj-Degraded", "Retry-After"} {
+			if v := res.header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set("X-Kpj-Replica", res.replica.name)
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+		return
+	}
+	switch {
+	case res.err != nil && errors.Is(res.err, context.Canceled):
+		writeTypedError(w, http.StatusServiceUnavailable, kindCanceled, "request canceled")
+	case res.err != nil:
+		writeTypedError(w, http.StatusServiceUnavailable, kindUnavailable, "no replica available: %v", res.err)
+	case res.status == http.StatusServiceUnavailable:
+		// Every candidate shed or is draining; propagate its Retry-After.
+		if v := res.header.Get("Retry-After"); v != "" {
+			w.Header().Set("Retry-After", v)
+		}
+		writeTypedError(w, http.StatusServiceUnavailable, kindUnavailable, "all replicas shedding")
+	default:
+		writeTypedError(w, http.StatusServiceUnavailable, kindUpstream,
+			"upstream failure (status %d) after retries", res.status)
+	}
+}
+
+// hedgeDelay is the wait before a request is hedged: the fixed
+// HedgeAfter when configured, otherwise EWMA + 4·deviation of observed
+// request latency clamped to [MinHedge, MaxHedge] — before any sample
+// exists it waits the full MaxHedge, hedging only against outright
+// stalls.
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.cfg.HedgeAfter > 0 {
+		return rt.cfg.HedgeAfter
+	}
+	d, ok := rt.lat.threshold()
+	if !ok {
+		return rt.cfg.MaxHedge
+	}
+	if d < rt.cfg.MinHedge {
+		d = rt.cfg.MinHedge
+	}
+	if d > rt.cfg.MaxHedge {
+		d = rt.cfg.MaxHedge
+	}
+	return d
+}
+
+// takeToken spends one retry token; refusal bounds fleet-wide retry and
+// hedge amplification when everything is failing at once.
+func (rt *Router) takeToken() bool {
+	for {
+		v := rt.budget.Load()
+		if v < tokenScale {
+			rt.met.observeBudgetDenied()
+			return false
+		}
+		if rt.budget.CompareAndSwap(v, v-tokenScale) {
+			return true
+		}
+	}
+}
+
+// creditToken refills 1/tokenScale of a token after a clean primary
+// answer, capped at the configured capacity.
+func (rt *Router) creditToken() {
+	max := int64(rt.cfg.RetryBudget) * tokenScale
+	for {
+		v := rt.budget.Load()
+		if v >= max {
+			return
+		}
+		if rt.budget.CompareAndSwap(v, v+1) {
+			return
+		}
+	}
+}
+
+// latencyTracker keeps the adaptive hedge estimate: a TCP-RTT-style
+// smoothed latency and mean deviation over winning request latencies.
+type latencyTracker struct {
+	mu   sync.Mutex
+	n    int
+	ewma float64 // microseconds
+	dev  float64
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	us := float64(d.Microseconds())
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		l.ewma, l.dev = us, us/2
+	} else {
+		diff := us - l.ewma
+		if diff < 0 {
+			diff = -diff
+		}
+		l.dev += 0.25 * (diff - l.dev)
+		l.ewma += 0.2 * (us - l.ewma)
+	}
+	l.n++
+}
+
+// threshold returns ewma + 4·dev, or ok=false before any sample.
+func (l *latencyTracker) threshold() (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0, false
+	}
+	return time.Duration(l.ewma+4*l.dev) * time.Microsecond, true
+}

@@ -5,7 +5,8 @@
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness + graph shape
+//	GET  /healthz       liveness + graph shape + breaker states
+//	GET  /readyz        readiness: index loaded and not draining
 //	GET  /categories    category names with sizes
 //	GET  /query         one query via URL parameters
 //	POST /batch         JSON array of queries, answered concurrently
@@ -84,6 +85,14 @@ type Server struct {
 	breakers         map[kpj.Algorithm]*breaker
 	breakerThreshold int
 	breakerProbes    int
+	// draining flips on at the start of graceful shutdown: /readyz turns
+	// 503 so load balancers stop routing here, and late-arriving queries
+	// are shed with 503 + Retry-After while in-flight ones finish.
+	draining atomic.Bool
+	// hadIndex records whether the server was constructed with an index;
+	// readiness then requires one to still be loaded (SwapIndex(nil)
+	// makes the replica not-ready rather than silently slow).
+	hadIndex bool
 }
 
 // Option configures a Server.
@@ -144,6 +153,7 @@ func WithBoundsCacheSize(n int) Option {
 func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
 	s := &Server{g: g, mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
 	s.ix.Store(ix)
+	s.hadIndex = ix != nil
 	for _, o := range opts {
 		o(s)
 	}
@@ -159,6 +169,7 @@ func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
 		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
 	s.mux.HandleFunc("GET /query", s.limited(s.handleQuery))
 	s.mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
@@ -185,6 +196,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Retry-After hint instead of piling onto the queue.
 func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			s.met.observeShed()
+			return
+		}
 		if s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
@@ -257,6 +274,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"edges":      s.g.NumEdges(),
 		"categories": len(s.g.Categories()),
 		"indexed":    s.index() != nil,
+		"draining":   s.draining.Load(),
+	}
+	if ix := s.index(); ix != nil {
+		body["fingerprint"] = fmt.Sprintf("%016x", ix.Fingerprint())
 	}
 	if len(s.breakers) > 0 {
 		states := map[string]string{}
@@ -270,6 +291,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, body)
 }
+
+// handleReadyz is the load-balancer signal, split out of /healthz:
+// liveness (healthz) answers "is the process up", readiness answers
+// "should this replica receive traffic". Not-ready means draining (the
+// drain window of a graceful shutdown has begun) or, for servers built
+// with an index, the index having been swapped out. kpjrouter probes it
+// and stops routing to a draining replica before its listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reason := s.readiness()
+	body := map[string]any{"ready": ready}
+	if ix := s.index(); ix != nil {
+		body["fingerprint"] = fmt.Sprintf("%016x", ix.Fingerprint())
+	}
+	if !ready {
+		body["reason"] = reason
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// readiness evaluates the readiness conditions in order of severity.
+func (s *Server) readiness() (ready bool, reason string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.hadIndex && s.index() == nil {
+		return false, "index unloaded"
+	}
+	return true, ""
+}
+
+// StartDraining flips the server into drain mode: /readyz starts
+// answering 503 (so routers and load balancers stop sending traffic) and
+// new /query and /batch arrivals are shed with 503 + Retry-After, while
+// requests already executing run to completion. Call it at the start of
+// graceful shutdown, before http.Server.Shutdown closes the listener —
+// the gap lets the routing tier observe not-ready while the process can
+// still answer. Draining is one-way; idempotent.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) handleCategories(w http.ResponseWriter, _ *http.Request) {
 	out := map[string]int{}

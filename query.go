@@ -164,6 +164,14 @@ func BuildIndexParallel(g *Graph, count int, seed int64, parallelism int) (*Inde
 // Count returns the number of landmarks.
 func (ix *Index) Count() int { return ix.ix.Count() }
 
+// Fingerprint identifies the index contents: two indexes with the same
+// fingerprint were built from identical graph topology, weights,
+// categories, and landmark sets, so their bound tables are interchangeable.
+// It keys the cross-query BoundsCache and, at the serving tier, replica
+// cache-affinity hashing (kpjrouter routes repeat queries to the replica
+// whose cache already holds their bound tables).
+func (ix *Index) Fingerprint() uint64 { return ix.ix.Fingerprint() }
+
 // SizeBytes estimates the index memory footprint.
 func (ix *Index) SizeBytes() int64 { return ix.ix.SizeBytes() }
 

@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "RNG seed (default 1)")
 	parallelism := flag.Int("parallelism", 1, "worker goroutines per query's subspace searches (<= 1 sequential; identical results)")
 	format := flag.String("format", "text", "output format: text, csv, or json")
+	benchmem := flag.Bool("benchmem", false, "add allocs/op and B/op columns next to every timing column (go test -benchmem style; measured over the timed rounds, warmup excluded)")
 	metrics := flag.Bool("metrics", false, "print cumulative engine metrics in Prometheus text format to stderr after the run")
 	flag.Parse()
 	if *format != "text" && *format != "csv" && *format != "json" {
@@ -55,6 +56,7 @@ func main() {
 		Alpha:       *alpha,
 		Seed:        *seed,
 		Parallelism: *parallelism,
+		MemStats:    *benchmem,
 	})
 	if *format == "text" {
 		fmt.Printf("kpjbench: scale=%.2f perset=%d landmarks=%d alpha=%.2f seed=%d\n\n",

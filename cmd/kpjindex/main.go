@@ -4,6 +4,12 @@
 // Usage:
 //
 //	kpjindex -graph sj.gr -landmarks 16 -out sj.idx
+//	kpjindex -graph sj.gr -pois sj.pois -landmarks 16 -format flat -out sj.kpjflat
+//
+// With -format flat the output is the mmap-able flat layout carrying the
+// graph (adjacency and categories) alongside the index, which kpjserver
+// loads with -flat [-mmap] in O(1) instead of re-parsing the DIMACS file.
+// -landmarks 0 with -format flat writes the graph alone.
 package main
 
 import (
@@ -17,21 +23,29 @@ import (
 
 func main() {
 	graphPath := flag.String("graph", "", "DIMACS .gr file (required)")
-	landmarks := flag.Int("landmarks", 16, "landmark count")
+	poisPath := flag.String("pois", "", "POI category file to embed (flat format only)")
+	landmarks := flag.Int("landmarks", 16, "landmark count (0 skips the index with -format flat)")
 	seed := flag.Int64("seed", 1, "selection seed")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the construction Dijkstras (<= 0 all cores)")
-	out := flag.String("out", "kpj.idx", "output index file")
+	format := flag.String("format", "index", "output format: index (landmark tables only) or flat (mmap-able graph+categories+index)")
+	out := flag.String("out", "kpj.idx", "output file")
 	flag.Parse()
 
-	if err := run(*graphPath, *landmarks, *seed, *parallelism, *out); err != nil {
+	if err := run(*graphPath, *poisPath, *landmarks, *seed, *parallelism, *format, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjindex: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, landmarks int, seed int64, parallelism int, out string) error {
+func run(graphPath, poisPath string, landmarks int, seed int64, parallelism int, format, out string) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
+	}
+	if format != "index" && format != "flat" {
+		return fmt.Errorf("-format must be index or flat, got %q", format)
+	}
+	if landmarks <= 0 && format != "flat" {
+		return fmt.Errorf("-landmarks must be positive with -format index")
 	}
 	gf, err := os.Open(graphPath)
 	if err != nil {
@@ -42,12 +56,43 @@ func run(graphPath string, landmarks int, seed int64, parallelism int, out strin
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	ix, err := kpj.BuildIndexParallel(g, landmarks, seed, parallelism)
-	if err != nil {
-		return err
+	if poisPath != "" {
+		pf, err := os.Open(poisPath)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := g.ReadCategories(pf); err != nil {
+			return err
+		}
 	}
-	built := time.Since(start)
+
+	var ix *kpj.Index
+	var built time.Duration
+	if landmarks > 0 {
+		start := time.Now()
+		if ix, err = kpj.BuildIndexParallel(g, landmarks, seed, parallelism); err != nil {
+			return err
+		}
+		built = time.Since(start)
+	}
+
+	if format == "flat" {
+		if err := kpj.WriteFlatFile(out, g, ix); err != nil {
+			return err
+		}
+		st, err := os.Stat(out)
+		if err != nil {
+			return err
+		}
+		count := 0
+		if ix != nil {
+			count = ix.Count()
+		}
+		fmt.Printf("built %d-landmark index for %d nodes in %v; wrote %d-byte flat file to %s (serve with kpjserver -flat %s -mmap)\n",
+			count, g.NumNodes(), built.Round(time.Millisecond), st.Size(), out, out)
+		return nil
+	}
 
 	f, err := os.Create(out)
 	if err != nil {

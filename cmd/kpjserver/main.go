@@ -5,6 +5,12 @@
 //
 //	kpjserver -graph sj.gr -pois sj.pois -index sj.idx -addr :8080 \
 //	          -timeout 2s -budget 5000000 -maxinflight 64
+//	kpjserver -flat sj.kpjflat -mmap -addr :8080
+//
+// -flat loads a graph+categories+index bundle written by
+// kpjindex -format=flat; with -mmap the file is mapped instead of read,
+// so startup is O(1) and pages fault in on demand (Linux; elsewhere -mmap
+// silently falls back to a verified read).
 //
 // Endpoints (see internal/server):
 //
@@ -39,7 +45,9 @@ import (
 )
 
 func main() {
-	graphPath := flag.String("graph", "", "DIMACS .gr file (required)")
+	graphPath := flag.String("graph", "", "DIMACS .gr file (required unless -flat is given)")
+	flatPath := flag.String("flat", "", "flat graph+index file from kpjindex -format=flat (replaces -graph/-pois/-index)")
+	useMmap := flag.Bool("mmap", false, "with -flat, mmap the file instead of reading it: O(1) startup, pages load on demand")
 	poisPath := flag.String("pois", "", "POI category file")
 	indexPath := flag.String("index", "", "prebuilt index file from kpjindex")
 	landmarks := flag.Int("landmarks", 0, "build an index with this many landmarks when no -index is given")
@@ -59,7 +67,7 @@ func main() {
 	breakerProbes := flag.Int("breakerprobes", 2, "consecutive clean degraded queries before leaving degraded mode")
 	flag.Parse()
 
-	if err := run(*graphPath, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
+	if err := run(*graphPath, *flatPath, *useMmap, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
 		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain, *metrics, *pprofOn,
 		*breaker, *breakerProbes); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
@@ -67,46 +75,76 @@ func main() {
 	}
 }
 
-func run(graphPath, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
+func run(graphPath, flatPath string, useMmap bool, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
 	timeout time.Duration, budget int64, maxInFlight, parallelism, cacheSize int, drain time.Duration,
 	metrics, pprofOn bool, breakerThreshold, breakerProbes int) error {
-	if graphPath == "" {
-		return fmt.Errorf("-graph is required")
-	}
-	gf, err := os.Open(graphPath)
-	if err != nil {
-		return err
-	}
-	defer gf.Close()
-	g, err := kpj.ReadGraph(gf)
-	if err != nil {
-		return err
-	}
-	if poisPath != "" {
-		pf, err := os.Open(poisPath)
+	var g *kpj.Graph
+	var ix *kpj.Index
+	switch {
+	case flatPath != "":
+		if graphPath != "" || poisPath != "" || indexPath != "" {
+			return fmt.Errorf("-flat replaces -graph/-pois/-index; do not combine them")
+		}
+		start := time.Now()
+		fg, fix, closer, err := kpj.OpenFlat(flatPath, useMmap)
 		if err != nil {
 			return err
 		}
-		defer pf.Close()
-		if err := g.ReadCategories(pf); err != nil {
+		defer closer.Close()
+		g, ix = fg, fix
+		mode := "read"
+		if useMmap {
+			mode = "mmap"
+		}
+		count := 0
+		if ix != nil {
+			count = ix.Count()
+		}
+		fmt.Printf("loaded flat file %s (%s) with %d-landmark index in %v\n",
+			flatPath, mode, count, time.Since(start).Round(time.Millisecond))
+	case graphPath != "":
+		gf, err := os.Open(graphPath)
+		if err != nil {
 			return err
 		}
+		defer gf.Close()
+		if g, err = kpj.ReadGraph(gf); err != nil {
+			return err
+		}
+		if poisPath != "" {
+			pf, err := os.Open(poisPath)
+			if err != nil {
+				return err
+			}
+			defer pf.Close()
+			if err := g.ReadCategories(pf); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("-graph or -flat is required")
+	}
+	if useMmap && flatPath == "" {
+		return fmt.Errorf("-mmap requires -flat")
 	}
 
-	var ix *kpj.Index
 	switch {
+	case ix != nil:
+		// Came embedded in the flat file.
 	case indexPath != "":
 		f, err := os.Open(indexPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if ix, err = kpj.LoadIndex(f, g); err != nil {
-			return err
+		var err2 error
+		if ix, err2 = kpj.LoadIndex(f, g); err2 != nil {
+			return err2
 		}
 		fmt.Printf("loaded %d-landmark index from %s\n", ix.Count(), indexPath)
 	case landmarks > 0:
 		start := time.Now()
+		var err error
 		if ix, err = kpj.BuildIndex(g, landmarks, seed); err != nil {
 			return err
 		}

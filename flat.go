@@ -1,0 +1,51 @@
+package kpj
+
+import (
+	"io"
+
+	"kpj/internal/flatindex"
+)
+
+// This file exposes the flat (mmap-able) persistence layer: one versioned
+// binary file carrying the graph's CSR adjacency, its categories, and
+// optionally its landmark index, stored in memory layout so loading is
+// aliasing rather than parsing. kpjindex -format=flat writes these;
+// kpjserver -flat (optionally with -mmap) serves from them.
+
+// WriteFlat serializes g — adjacency, categories, and ix when non-nil —
+// in the flat binary layout. ix must have been built over g.
+func WriteFlat(w io.Writer, g *Graph, ix *Index) (int64, error) {
+	if ix == nil {
+		return flatindex.Write(w, g.g, nil)
+	}
+	return flatindex.Write(w, g.g, ix.ix)
+}
+
+// WriteFlatFile is WriteFlat to a file at path.
+func WriteFlatFile(path string, g *Graph, ix *Index) error {
+	if ix == nil {
+		return flatindex.WriteFile(path, g.g, nil)
+	}
+	return flatindex.WriteFile(path, g.g, ix.ix)
+}
+
+// OpenFlat loads a flat file written by WriteFlatFile. With mmap true on
+// a supporting platform (Linux) the file is mapped and the graph aliases
+// it in place — O(1) startup with pages faulting in on demand, at the
+// cost of skipping the checksum (structural header validation still
+// runs). With mmap false (or elsewhere) the file is read into memory and
+// fully verified. The returned index is nil when the file carries none.
+// Close the returned Closer only after the graph and index are no longer
+// in use.
+func OpenFlat(path string, mmap bool) (*Graph, *Index, io.Closer, error) {
+	l, err := flatindex.Open(path, mmap)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g := newGraph(l.G)
+	var ix *Index
+	if l.Index != nil {
+		ix = &Index{ix: l.Index}
+	}
+	return g, ix, l, nil
+}

@@ -180,11 +180,14 @@ func directiveKind(text string) (string, bool) {
 // OrderSensitive reports whether pkg's emitted values must be a pure
 // function of the query: the engine core, the deviation baselines, the
 // landmark index builders (their tables feed every bound the engine
-// compares), and the public kpj API that merges their results. mapiter
-// and nondeterm apply only in these packages.
+// compares), the public kpj API that merges their results, the SSSP tree
+// builders (heap vs bucket queue must produce bit-identical canonical
+// trees), and the priority queues themselves (their pop order feeds
+// those trees). mapiter and nondeterm apply only in these packages.
 func OrderSensitive(path string) bool {
 	switch path {
-	case "kpj", "kpj/internal/core", "kpj/internal/deviation", "kpj/internal/landmark":
+	case "kpj", "kpj/internal/core", "kpj/internal/deviation", "kpj/internal/landmark",
+		"kpj/internal/sssp", "kpj/internal/pqueue":
 		return true
 	}
 	return false
@@ -192,7 +195,10 @@ func OrderSensitive(path string) bool {
 
 // SearchPackage reports whether pkg hosts bounded search loops — the
 // hot paths where boundcheck requires every heap-pop loop to consult
-// the query's Bound (or an equivalent cancellation poll).
+// the query's Bound (or an equivalent cancellation poll). The pqueue
+// package is deliberately excluded: the queue implementations pop
+// freely (a Pop that did not pop would be absurd); the discipline
+// attaches to the loops that drain them.
 func SearchPackage(path string) bool {
 	switch path {
 	case "kpj/internal/core", "kpj/internal/sssp", "kpj/internal/deviation":

@@ -1,16 +1,21 @@
 // Package boundcheck defines the kpjlint analyzer that keeps unbounded
 // work out of the engine's hot paths: in the search packages
-// (internal/core, internal/sssp, internal/deviation) every heap-pop
-// loop — a `for` statement that pops a priority queue — must consult
-// the query's interruption state on each iteration, by calling a method
-// of core.Bound (Step, Work, or Err) or an equivalent cancellation poll
+// (internal/core, internal/sssp, internal/deviation) every queue-drain
+// loop — a `for` statement that pops a priority queue, or whose
+// condition consults one (Len/Top/TopKey/Empty on a type with a Pop
+// method) while a helper does the popping — must consult the query's
+// interruption state on each iteration, by calling a method of
+// core.Bound (Step, Work, or Err) or an equivalent cancellation poll
 // (the sssp package's `canceled` helper), so deadlines and work budgets
-// cut every loop (PR 1's partial-result contract). A fault-injection
-// poll — fault.Hit(point) or a Registry.Hit method call — also counts:
-// it is an interruption point through which chaos schedules abort the
-// loop, and in the engine it always funnels into the same Bound. A loop
-// whose work is bounded by construction carries //kpjlint:bounded with
-// the argument.
+// cut every loop (PR 1's partial-result contract). The poll may sit one
+// call level down, inside a same-package helper the loop settles
+// through: the flat-tree drain loops (sptiTree.growTo) delegate both
+// the pop and the Bound.Step to settleOne. A fault-injection poll —
+// fault.Hit(point) or a Registry.Hit method call — also counts: it is
+// an interruption point through which chaos schedules abort the loop,
+// and in the engine it always funnels into the same Bound. A loop whose
+// work is bounded by construction carries //kpjlint:bounded with the
+// argument.
 package boundcheck
 
 import (
@@ -22,7 +27,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "boundcheck",
-	Doc:  "flags heap-pop loops in search packages that neither consult a core.Bound (Step/Work/Err) nor carry //kpjlint:bounded",
+	Doc:  "flags queue-drain loops in search packages that neither consult a core.Bound (Step/Work/Err, inline or one helper call down) nor carry //kpjlint:bounded",
 	Run:  run,
 }
 
@@ -30,6 +35,7 @@ func run(pass *analysis.Pass) error {
 	if !analysis.SearchPackage(pass.Pkg.Path()) {
 		return nil
 	}
+	bodies := funcBodies(pass)
 	for _, f := range pass.Files {
 		if pass.TestFile(f) {
 			continue
@@ -39,16 +45,16 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			if !isHeapPopLoop(loop) {
+			if !isHeapPopLoop(loop) && !drainCondition(pass, loop.Cond) {
 				return true
 			}
 			if pass.Annotated(loop, analysis.Bounded) {
 				return true
 			}
-			if consultsBound(pass, loop) {
+			if consultsBound(pass, loop, bodies) {
 				return true
 			}
-			pass.Reportf(loop.Pos(), "heap-pop loop without a Bound check; call Bound.Step/Err each iteration or annotate //kpjlint:bounded")
+			pass.Reportf(loop.Pos(), "heap-pop loop without a Bound check; call Bound.Step/Err each iteration (inline or in the helper the loop settles through) or annotate //kpjlint:bounded")
 			return true
 		})
 	}
@@ -82,13 +88,83 @@ func isHeapPopLoop(loop *ast.ForStmt) bool {
 	return found
 }
 
+// drainCondition reports whether cond consults a poppable queue — a
+// Len, Top, TopKey, or Empty method call on a receiver whose method set
+// also has Pop. Such loops drain the queue even when the Pop itself
+// hides inside a helper (sptiTree.growTo pops via settleOne), so they
+// fall under the same bound discipline as inline-pop loops.
+func drainCondition(pass *analysis.Pass, cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Len", "Top", "TopKey", "Empty":
+		default:
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if hasPopMethod(pass, tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasPopMethod(pass *analysis.Pass, t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, "Pop")
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// funcBodies indexes this package's function and method declarations so
+// consultsBound can follow a drain loop's settle helper one call level
+// down to the poll inside it.
+func funcBodies(pass *analysis.Pass) map[*types.Func]*ast.BlockStmt {
+	idx := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd.Body
+			}
+		}
+	}
+	return idx
+}
+
 // consultsBound reports whether the loop body (including nested
 // statements and closures it invokes inline) calls a method of a type
-// named Bound — Step, Work, or Err — or a cancellation poll helper
-// named `canceled`.
-func consultsBound(pass *analysis.Pass, loop *ast.ForStmt) bool {
+// named Bound — Step, Work, or Err — a cancellation poll helper named
+// `canceled`, or a fault point; the poll may sit directly in the body
+// or one level down inside a same-package helper the body calls.
+func consultsBound(pass *analysis.Pass, loop *ast.ForStmt, bodies map[*types.Func]*ast.BlockStmt) bool {
+	return pollsIn(pass, loop.Body, bodies, true)
+}
+
+// pollsIn scans block for an interruption poll. With descend set, each
+// call to a function or method declared in this package is followed one
+// level (and only one: the poll must stay near the pop, not buried in a
+// call chain the analyzer — or a reader — cannot see through).
+func pollsIn(pass *analysis.Pass, block *ast.BlockStmt, bodies map[*types.Func]*ast.BlockStmt, descend bool) bool {
 	found := false
-	ast.Inspect(loop.Body, func(n ast.Node) bool {
+	ast.Inspect(block, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -103,9 +179,32 @@ func consultsBound(pass *analysis.Pass, loop *ast.ForStmt) bool {
 				found = true
 			}
 		}
+		if !found && descend {
+			if body := bodies[callee(pass, call)]; body != nil {
+				if pollsIn(pass, body, bodies, false) {
+					found = true
+				}
+			}
+		}
 		return !found
 	})
 	return found
+}
+
+// callee resolves a call to the *types.Func it invokes, or nil for
+// indirect calls (closures, function values, conversions).
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
 }
 
 func boundMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {

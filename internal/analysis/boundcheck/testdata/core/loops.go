@@ -124,3 +124,67 @@ func nestedInnerUnbounded(q *queue, b *Bound) {
 		}
 	}
 }
+
+// TopKey mirrors the flat SPT queue's peek; drain loops conditioned on
+// it (growTo-style) are judged like inline-pop loops.
+func (q *queue) TopKey() int {
+	return q.keys[0]
+}
+
+// settleHelper pops one entry with the Bound polled first — the
+// settleOne shape the flat-tree drain loops delegate to.
+func settleHelper(q *queue, b *Bound) int {
+	if b.Step() != nil {
+		return -1
+	}
+	v, _ := q.Pop()
+	return v
+}
+
+// drainViaHelper never mentions Pop or Bound itself; the analyzer must
+// find both one call level down in settleHelper.
+func drainViaHelper(q *queue, b *Bound) {
+	for q.Len() > 0 && q.TopKey() <= 40 {
+		if settleHelper(q, b) < 0 {
+			return
+		}
+	}
+}
+
+// popOnly pops without polling anything.
+func popOnly(q *queue) int {
+	v, _ := q.Pop()
+	return v
+}
+
+func drainViaUnboundedHelper(q *queue) int {
+	total := 0
+	for q.Len() > 0 { // want `heap-pop loop without a Bound check`
+		total += popOnly(q)
+	}
+	return total
+}
+
+// deepHelper hides the poll two call levels down; the analyzer follows
+// exactly one level, so this loop must be flagged (the poll belongs
+// near the pop).
+func deepHelper(q *queue, b *Bound) int { return settleHelper(q, b) }
+
+func drainViaTooDeepHelper(q *queue, b *Bound) {
+	for q.Len() > 0 { // want `heap-pop loop without a Bound check`
+		if deepHelper(q, b) < 0 {
+			return
+		}
+	}
+}
+
+// lener has Len but no Pop: looping on it is not a queue drain.
+type lener struct{ n int }
+
+func (l *lener) Len() int { return l.n }
+
+func notAQueue(l *lener) {
+	for l.Len() > 0 {
+		l.n--
+	}
+}

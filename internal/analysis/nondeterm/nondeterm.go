@@ -8,6 +8,13 @@
 // level (DESIGN.md §8). Seeded generators (rand.New(rand.NewSource(s)))
 // are pure functions of the seed and stay allowed. Deliberate uses
 // carry //kpjlint:deterministic with a justification.
+//
+// Scope (analysis.OrderSensitive) includes internal/sssp and
+// internal/pqueue: since the bucket queue pops equal keys in a
+// different order than the binary heap, the canonical trees depend on
+// nothing but deterministic tie-breaking — a stray clock read or global
+// rand draw in the queue or tree layer would be invisible in tests that
+// happen to take one queue path and corrupt the other.
 package nondeterm
 
 import (

@@ -18,12 +18,17 @@ import (
 // Passing a nil Options.Index runs each variant without landmarks
 // (Section 6); for IterBoundSPTI that is exactly the paper's
 // IterBound_I-NL algorithm.
+//
+// All per-query machinery (spaces, pseudo-tree, engine scratch, heuristic
+// boxes) comes out of the Workspace, so repeated queries on a warm
+// workspace run the steady state without heap allocations.
 
 // forwardHeuristic picks the Eq. 2 category bound when landmarks are
 // available, the zero heuristic otherwise. With an Options.SetBounds cache
 // the per-category table is fetched from (or inserted into) the cache
-// instead of being rebuilt per query.
-func forwardHeuristic(sp *Space, q Query, opt *Options) Heuristic {
+// instead of being rebuilt per query. The heuristic is boxed in workspace
+// storage (ZeroHeuristic is zero-size and boxes for free).
+func forwardHeuristic(ws *Workspace, sp *Space, q Query, opt *Options) Heuristic {
 	if opt.Index == nil {
 		return ZeroHeuristic{}
 	}
@@ -35,17 +40,19 @@ func forwardHeuristic(sp *Space, q Query, opt *Options) Heuristic {
 		b = opt.Index.BoundsToSet(q.Targets)
 	}
 	endSpan(int64(len(q.Targets)))
-	return CategoryHeuristic{Space: sp, Bounds: b}
+	ws.catH = CategoryHeuristic{Space: sp, Bounds: b}
+	return &ws.catH
 }
 
 // reverseHeuristic bounds the remaining distance toward the source side of
 // a reverse space.
-func reverseHeuristic(sp *Space, q Query, opt *Options) Heuristic {
+func reverseHeuristic(ws *Workspace, sp *Space, q Query, opt *Options) Heuristic {
 	if opt.Index == nil {
 		return ZeroHeuristic{}
 	}
 	if len(q.Sources) == 1 {
-		return SourceHeuristic{Space: sp, Index: opt.Index, Source: q.Sources[0]}
+		ws.srcH = SourceHeuristic{Space: sp, Index: opt.Index, Source: q.Sources[0]}
+		return &ws.srcH
 	}
 	endSpan := opt.Spans.Start(obs.PhaseLBTables, 0)
 	var b *landmark.FromBounds
@@ -55,7 +62,21 @@ func reverseHeuristic(sp *Space, q Query, opt *Options) Heuristic {
 		b = opt.Index.BoundsFromSet(q.Sources)
 	}
 	endSpan(int64(len(q.Sources)))
-	return SourceSetHeuristic{Space: sp, Bounds: b}
+	ws.setH = SourceSetHeuristic{Space: sp, Bounds: b}
+	return &ws.setH
+}
+
+// configure fills the engine fields shared by all four algorithms.
+func configure(e *engine, sp *Space, k int, opt *Options, pool *Pool) {
+	e.sp = sp
+	e.pt = e.ws.ResetTree(sp.Root)
+	e.k = k
+	e.bound = opt.bound
+	e.pool = pool
+	e.stats = opt.Stats
+	e.onEvent = opt.Trace
+	e.spans = opt.Spans
+	e.reuse = opt.ReuseResults
 }
 
 // BestFirst processes a query with the best-first paradigm (paper Alg. 2):
@@ -67,20 +88,14 @@ func BestFirst(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := NewForwardSpace(g, q.Sources, q.Targets)
-	h := forwardHeuristic(sp, q, &opt)
+	sp := ws.ForwardSpace(g, q.Sources, q.Targets)
+	h := forwardHeuristic(ws, sp, q, &opt)
 	pool := opt.NewPool(sp.NumSpaceNodes())
 	defer pool.Close()
-	e := &engine{
-		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
-		searchH: h, lbH: h,
-		alpha:   0, // exact resolution
-		bound:   opt.bound,
-		pool:    pool,
-		stats:   opt.Stats,
-		onEvent: opt.Trace,
-		spans:   opt.Spans,
-	}
+	e := ws.engine()
+	configure(e, sp, q.K, &opt, pool)
+	e.searchH, e.lbH = h, h
+	e.alpha = 0 // exact resolution
 	return e.run()
 }
 
@@ -93,20 +108,14 @@ func IterBound(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := NewForwardSpace(g, q.Sources, q.Targets)
-	h := forwardHeuristic(sp, q, &opt)
+	sp := ws.ForwardSpace(g, q.Sources, q.Targets)
+	h := forwardHeuristic(ws, sp, q, &opt)
 	pool := opt.NewPool(sp.NumSpaceNodes())
 	defer pool.Close()
-	e := &engine{
-		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
-		searchH: h, lbH: h,
-		alpha:   opt.Alpha,
-		bound:   opt.bound,
-		pool:    pool,
-		stats:   opt.Stats,
-		onEvent: opt.Trace,
-		spans:   opt.Spans,
-	}
+	e := ws.engine()
+	configure(e, sp, q.K, &opt, pool)
+	e.searchH, e.lbH = h, h
+	e.alpha = opt.Alpha
 	return e.run()
 }
 
@@ -119,28 +128,22 @@ func IterBoundSPTP(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := NewForwardSpace(g, q.Sources, q.Targets)
-	rev := NewReverseSpace(g, q.Sources, q.Targets)
+	sp := ws.ForwardSpace(g, q.Sources, q.Targets)
+	rev := ws.ReverseSpace(g, q.Sources, q.Targets)
 	endSPT := opt.Spans.Start(obs.PhaseSPTBuild, 0)
-	dt, settled, init, ok := buildPartialSPT(rev, reverseHeuristic(rev, q, &opt), opt.Stats, opt.bound)
-	endSPT(int64(len(dt)))
+	t, init, ok := buildPartialSPT(ws, rev, reverseHeuristic(ws, rev, q, &opt), opt.Stats, opt.bound)
+	endSPT(int64(rev.NumSpaceNodes()))
 	if !ok {
 		return nil, opt.bound.Err()
 	}
-	h := TreeHeuristic{Dist: dt, Settled: settled, Fallback: forwardHeuristic(sp, q, &opt)}
+	h := ws.CachedTreeHeuristic(t, forwardHeuristic(ws, sp, q, &opt))
 	pool := opt.NewPool(sp.NumSpaceNodes())
 	defer pool.Close()
-	e := &engine{
-		sp: sp, pt: NewPseudoTree(sp.Root), ws: ws, k: q.K,
-		searchH: h, lbH: h,
-		alpha:   opt.Alpha,
-		initial: func() (SearchResult, bool) { return init, true },
-		bound:   opt.bound,
-		pool:    pool,
-		stats:   opt.Stats,
-		onEvent: opt.Trace,
-		spans:   opt.Spans,
-	}
+	e := ws.engine()
+	configure(e, sp, q.K, &opt, pool)
+	e.searchH, e.lbH = h, h
+	e.alpha = opt.Alpha
+	e.init, e.haveInit = init, true
 	return e.run()
 }
 
@@ -154,33 +157,26 @@ func IterBoundSPTI(g *graph.Graph, q Query, opt Options) ([]Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	fwd := NewForwardSpace(g, q.Sources, q.Targets)
-	rev := NewReverseSpace(g, q.Sources, q.Targets)
+	fwd := ws.ForwardSpace(g, q.Sources, q.Targets)
+	rev := ws.ReverseSpace(g, q.Sources, q.Targets)
 	endSPT := opt.Spans.Start(obs.PhaseSPTBuild, 0)
-	tree := newSPTI(fwd, forwardHeuristic(fwd, q, &opt), opt.Stats, opt.bound)
+	tree := ws.initSPTI(fwd, forwardHeuristic(ws, fwd, q, &opt), opt.Stats, opt.bound)
 	init, ok := tree.initialPath()
 	endSPT(int64(tree.size()))
 	if !ok {
 		return nil, opt.bound.Err()
 	}
-	h := sptiHeuristic{t: tree, fallback: reverseHeuristic(rev, q, &opt)}
+	ws.sptiH = sptiHeuristic{t: tree, fallback: reverseHeuristic(ws, rev, q, &opt)}
+	h := &ws.sptiH
 	pool := opt.NewPool(rev.NumSpaceNodes())
 	defer pool.Close()
-	e := &engine{
-		sp: rev, pt: NewPseudoTree(rev.Root), ws: ws, k: q.K,
-		searchH:       h,
-		lbH:           h,
-		pruner:        sptiPruner{t: tree},
-		lbRootPruner:  sptiPruner{t: tree},
-		alpha:         opt.Alpha,
-		beforeResolve: func(tau graph.Weight) { tree.growTo(tau) },
-		initial:       func() (SearchResult, bool) { return init, true },
-		bound:         opt.bound,
-		pool:          pool,
-		stats:         opt.Stats,
-		onEvent:       opt.Trace,
-		spans:         opt.Spans,
-	}
+	e := ws.engine()
+	configure(e, rev, q.K, &opt, pool)
+	e.searchH, e.lbH = h, h
+	e.pruner, e.lbRootPruner = tree, tree
+	e.alpha = opt.Alpha
+	e.grow = tree
+	e.init, e.haveInit = init, true
 	return e.run()
 }
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpj/internal/graph"
+	"kpj/internal/landmark"
+	"kpj/internal/testgraphs"
+)
+
+// TestSteadyStateQueryAllocs pins the tentpole claim of the zero-alloc
+// campaign: a warm Workspace plus a warm SetBounds cache plus ReuseResults
+// runs every contributed algorithm with ZERO heap allocations per query.
+// Any regression — a map rebuilt per query, a closure escaping, a value
+// heuristic boxed into an interface — shows up here as a non-zero count
+// long before it shows up in a benchmark.
+func TestSteadyStateQueryAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testgraphs.RandomConnected(rng, 400, 1600, 50)
+	targets := testgraphs.RandomCategory(rng, g, "T", 8)
+	ix, err := landmark.Build(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := landmark.NewSetBoundsCache(8)
+	ws := NewWorkspace(g.NumNodes() + 2)
+	q := Query{Sources: []graph.NodeID{0}, Targets: targets, K: 8}
+
+	for name, fn := range Algorithms() {
+		opt := Options{
+			Index:        ix,
+			Workspace:    ws,
+			SetBounds:    cache,
+			ReuseResults: true,
+		}
+		// Warm up: grows every arena/scratch array to its steady-state
+		// capacity and populates the set-bounds cache.
+		for i := 0; i < 3; i++ {
+			if _, err := fn(g, q, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := fn(g, q, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per steady-state query, want 0", name, allocs)
+		}
+	}
+}
+
+// TestSteadyStateGKPJAllocs repeats the pin for a multi-source (GKPJ)
+// query, which exercises the virtual-root path, SourceSetHeuristic boxing,
+// and the from-set bounds cache.
+func TestSteadyStateGKPJAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testgraphs.RandomConnected(rng, 300, 1200, 40)
+	targets := testgraphs.RandomCategory(rng, g, "T", 6)
+	ix, err := landmark.Build(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := landmark.NewSetBoundsCache(8)
+	ws := NewWorkspace(g.NumNodes() + 2)
+	q := Query{Sources: []graph.NodeID{1, 2, 3}, Targets: targets, K: 5}
+
+	for name, fn := range Algorithms() {
+		opt := Options{Index: ix, Workspace: ws, SetBounds: cache, ReuseResults: true}
+		for i := 0; i < 3; i++ {
+			if _, err := fn(g, q, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := fn(g, q, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per steady-state GKPJ query, want 0", name, allocs)
+		}
+	}
+}
+
+// TestReuseResultsAliasing documents the ReuseResults contract: the slices
+// returned under ReuseResults alias workspace storage and are invalidated
+// by the workspace's next query, while the default mode returns stable
+// copies.
+func TestReuseResultsAliasing(t *testing.T) {
+	g := testgraphs.Fig1()
+	hotels, _ := g.Category(testgraphs.HotelCategory)
+	ws := NewWorkspace(g.NumNodes() + 2)
+	q := Query{Sources: []graph.NodeID{testgraphs.V1}, Targets: hotels, K: 3}
+
+	stable, err := IterBoundSPTI(g, q, Options{Workspace: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]graph.NodeID, len(stable))
+	for i, p := range stable {
+		snapshot[i] = append([]graph.NodeID(nil), p.Nodes...)
+	}
+	// A second query on the same workspace must not disturb copied results.
+	if _, err := IterBoundSPTI(g, q, Options{Workspace: ws, ReuseResults: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range stable {
+		for j, v := range p.Nodes {
+			if snapshot[i][j] != v {
+				t.Fatalf("default-mode path %d mutated by later query", i)
+			}
+		}
+	}
+	// ReuseResults output matches the stable output value-wise while the
+	// workspace is quiescent.
+	reused, err := IterBoundSPTI(g, q, Options{Workspace: ws, ReuseResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reused) != len(stable) {
+		t.Fatalf("len mismatch: %d vs %d", len(reused), len(stable))
+	}
+	for i := range reused {
+		if reused[i].Length != stable[i].Length {
+			t.Fatalf("path %d length %d vs %d", i, reused[i].Length, stable[i].Length)
+		}
+	}
+}

@@ -11,12 +11,13 @@ import (
 
 // entry is one element of the global subspace queue Q (paper Alg. 2/4):
 // the subspace of pseudo-tree vertex `vertex`, keyed by `key` which is
-// either the subspace lower bound (unresolved) or the exact length of its
-// shortest path (resolved, res != nil).
+// either the subspace lower bound (unresolved, res < 0) or the exact
+// length of its shortest path (resolved, res indexes the engine's result
+// store).
 type entry struct {
 	vertex VertexID
 	key    graph.Weight
-	res    *SearchResult
+	res    int32 // index into engine.results; -1 while unresolved
 }
 
 // lessEntry orders the queue by key, breaking ties by pseudo-tree vertex
@@ -62,7 +63,10 @@ const resolveBatch = 8
 
 // engine runs the best-first paradigm (Alg. 2) or, when alpha > 1 with a
 // finite bound schedule, the iteratively bounding approach (Alg. 4). The
-// algorithm variants differ only in the fields they plug in.
+// algorithm variants differ only in the fields they plug in. One engine is
+// cached per Workspace (see Workspace.engine): the configuration fields
+// are rewritten per query while the scratch fields at the bottom retain
+// their capacity, so a steady-state query allocates nothing here.
 type engine struct {
 	sp *Space
 	pt *PseudoTree
@@ -76,14 +80,20 @@ type engine struct {
 
 	alpha float64 // >1: TestLB with growing τ; <=0: exact resolution (BestFirst)
 
-	// beforeResolve is invoked with τ before each TestLB so SPT_I can
-	// grow to cover the ≤τ neighbourhood (Prop. 5.2). Nil for others.
-	beforeResolve func(tau graph.Weight)
+	// grow, when non-nil, is the incremental SPT_I grown to τ before each
+	// resolution round so it covers the ≤τ neighbourhood (Prop. 5.2).
+	grow *sptiTree
 
-	// initial produces the shortest path of the entire space S_0 (Alg. 4
-	// line 1). Nil falls back to an unrestricted SubspaceSearch, which is
-	// what Alg. 2 does.
-	initial func() (SearchResult, bool)
+	// init seeds the queue with the shortest path of the entire space S_0
+	// (Alg. 4 line 1) when haveInit is set (SPT_P/SPT_I got it as a
+	// by-product of tree construction); otherwise an unrestricted
+	// SubspaceSearch computes it, which is what Alg. 2 does.
+	init     SearchResult
+	haveInit bool
+
+	// reuse makes emitted Path nodes alias the workspace arenas
+	// (Options.ReuseResults) instead of copying per path.
+	reuse bool
 
 	// bound carries the query's cancellation/budget state; nil runs
 	// unbounded. It is the same Bound installed in ws by Prepare.
@@ -100,6 +110,23 @@ type engine struct {
 	// spans, when non-nil, records the phase timeline (bound iteration
 	// N, division). Purely observational; nil costs one check.
 	spans *obs.Spans
+
+	// Retained scratch, reused across queries via the workspace cache.
+	q       *pqueue.Heap[entry]
+	jobs    []resolveJob
+	results []SearchResult
+	cands   []VertexID
+	lbs     []graph.Weight
+	pathBuf []graph.NodeID
+	out     []Path
+}
+
+// storeResult appends res to the per-query result store and returns its
+// entry index. Entries hold indexes, not pointers, because the store grows
+// by append.
+func (e *engine) storeResult(res SearchResult) int32 {
+	e.results = append(e.results, res)
+	return int32(len(e.results) - 1)
 }
 
 // nextTau implements Alg. 4 line 9 with integer-safe strict growth:
@@ -136,30 +163,34 @@ func (e *engine) nextTau(lb graph.Weight, top graph.Weight, haveTop bool) graph.
 // of τ or of SPT_I having grown past this entry's τ, and an Exceeded
 // entry re-enters the queue keyed by a τ that is still a strict lower
 // bound of its subspace's shortest length.
-func (e *engine) run() ([]Path, error) {
-	q := pqueue.NewHeap[entry](lessEntry)
+func (e *engine) run() (out []Path, err error) {
+	if e.q == nil {
+		e.q = pqueue.NewHeap[entry](lessEntry)
+	} else {
+		e.q.Reset()
+	}
+	q := e.q
+	e.results = e.results[:0]
+	if e.reuse {
+		out = e.out[:0]
+		defer func() { e.out = out[:0] }()
+	}
 
 	// Seed with the shortest path of the whole space.
 	endInitial := e.spans.Start(obs.PhaseInitial, 0)
-	var first SearchResult
-	var ok bool
-	if e.initial != nil {
-		first, ok = e.initial()
-	} else {
+	first, ok := e.init, e.haveInit
+	if !e.haveInit {
 		var status SearchStatus
 		first, status = e.ws.SubspaceSearch(e.sp, e.pt, 0, e.searchH, graph.Infinity, e.pruner, e.stats)
 		ok = status == Found
 	}
 	endInitial(first.Total)
 	if !ok {
-		return nil, e.bound.Err()
+		return out, e.bound.Err()
 	}
-	q.Push(entry{vertex: 0, key: first.Total, res: &first})
+	q.Push(entry{vertex: 0, key: first.Total, res: e.storeResult(first)})
 	e.trace(Event{Kind: EventEnqueue, Vertex: 0, Node: e.pt.Node(0), Length: first.Total})
 
-	jobs := make([]resolveJob, 0, resolveBatch)
-
-	var out []Path
 	round := 0
 	for len(out) < e.k && q.Len() > 0 {
 		// The mid-resolve fault point: an injected error rides the bound's
@@ -174,7 +205,7 @@ func (e *engine) run() ([]Path, error) {
 		if err := e.bound.Step(); err != nil {
 			return out, err
 		}
-		if q.Top().res != nil {
+		if q.Top().res >= 0 {
 			if stop := e.emitAndDivide(q, q.Pop(), &out); stop {
 				if err := e.bound.Err(); err != nil && len(out) < e.k {
 					return out, err
@@ -190,15 +221,15 @@ func (e *engine) run() ([]Path, error) {
 		// of bounds is a pure function of the query alone.
 		round++
 		endRound := e.spans.Start(obs.PhaseRound, round)
-		jobs = jobs[:0]
-		jobs = append(jobs, resolveJob{ent: q.Pop()})
-		for len(jobs) < resolveBatch && q.Len() > 0 && q.Top().res == nil {
+		e.jobs = append(e.jobs[:0], resolveJob{ent: q.Pop()})
+		for len(e.jobs) < resolveBatch && q.Len() > 0 && q.Top().res < 0 {
 			if err := e.bound.Step(); err != nil {
-				endRound(int64(len(jobs)))
+				endRound(int64(len(e.jobs)))
 				return out, err
 			}
-			jobs = append(jobs, resolveJob{ent: q.Pop()})
+			e.jobs = append(e.jobs, resolveJob{ent: q.Pop()})
 		}
+		jobs := e.jobs
 		maxTau := graph.Weight(-1)
 		for i := range jobs {
 			var top graph.Weight
@@ -211,8 +242,8 @@ func (e *engine) run() ([]Path, error) {
 				maxTau = jobs[i].tau
 			}
 		}
-		if e.beforeResolve != nil {
-			e.beforeResolve(maxTau)
+		if e.grow != nil {
+			e.grow.growTo(maxTau)
 		}
 		if len(jobs) == 1 || e.pool == nil {
 			for i := range jobs {
@@ -237,13 +268,12 @@ func (e *engine) run() ([]Path, error) {
 			j := &jobs[i]
 			switch j.status {
 			case Found:
-				res := j.res
-				q.Push(entry{vertex: j.ent.vertex, key: res.Total, res: &res})
+				q.Push(entry{vertex: j.ent.vertex, key: j.res.Total, res: e.storeResult(j.res)})
 			case Exceeded:
 				if e.stats != nil {
 					e.stats.TauRounds++
 				}
-				q.Push(entry{vertex: j.ent.vertex, key: j.tau})
+				q.Push(entry{vertex: j.ent.vertex, key: j.tau, res: -1})
 			case Empty:
 				// drop: the subspace holds no path
 			case Aborted:
@@ -274,28 +304,40 @@ func (e *engine) run() ([]Path, error) {
 // the main loop must stop (k paths emitted, or the bound tripped during a
 // lower-bound computation).
 func (e *engine) emitAndDivide(q *pqueue.Heap[entry], ent entry, out *[]Path) (stop bool) {
-	res := ent.res
-	full := append(e.pt.PrefixPath(ent.vertex), res.Suffix...)
-	*out = append(*out, e.sp.Materialize(full, res.Total))
+	res := &e.results[ent.res]
+	e.pathBuf = e.pt.AppendPrefixPath(e.pathBuf[:0], ent.vertex)
+	e.pathBuf = append(e.pathBuf, res.Suffix...)
+	var nodes []graph.NodeID
+	if e.reuse {
+		nodes = e.sp.materializeInto(e.ws.nodeArena.take(len(e.pathBuf)), e.pathBuf)
+	} else {
+		nodes = e.sp.materializeInto(make([]graph.NodeID, 0, len(e.pathBuf)), e.pathBuf)
+	}
+	*out = append(*out, Path{Nodes: nodes, Length: res.Total})
 	e.trace(Event{Kind: EventEmit, Vertex: ent.vertex, Node: e.pt.Node(ent.vertex), Length: res.Total})
 	if len(*out) == e.k {
 		return true
 	}
 	endDivide := e.spans.Start(obs.PhaseDivide, len(*out))
-	created := e.pt.InsertSuffix(ent.vertex, res.Suffix, res.Lens)
+	nsuffix := VertexID(len(res.Suffix))
+	firstNew := e.pt.InsertSuffix(ent.vertex, res.Suffix, res.Lens)
 
 	// New subspaces: the deviation vertex itself (its X grew) and every
 	// suffix vertex except the goal (whose subspace is empty).
-	cands := make([]VertexID, 0, len(created)+1)
+	e.cands = e.cands[:0]
 	if e.pt.Node(ent.vertex) != e.sp.Goal {
-		cands = append(cands, ent.vertex)
+		e.cands = append(e.cands, ent.vertex)
 	}
-	for _, v := range created {
+	for v := firstNew; v < firstNew+nsuffix; v++ {
 		if e.pt.Node(v) != e.sp.Goal {
-			cands = append(cands, v)
+			e.cands = append(e.cands, v)
 		}
 	}
-	lbs := make([]graph.Weight, len(cands))
+	cands := e.cands
+	if cap(e.lbs) < len(cands) {
+		e.lbs = make([]graph.Weight, len(cands))
+	}
+	lbs := e.lbs[:len(cands)]
 	if e.pool != nil && len(cands) >= minParallelLB {
 		e.pool.Run(len(cands), func(i int, ws *Workspace, st *Stats) {
 			lbs[i] = e.compLB(ws, cands[i], st)
@@ -314,7 +356,7 @@ func (e *engine) emitAndDivide(q *pqueue.Heap[entry], ent entry, out *[]Path) (s
 		if lb < res.Total {
 			lb = res.Total // Alg. 2 line 9: floor at ω(P)
 		}
-		q.Push(entry{vertex: v, key: lb})
+		q.Push(entry{vertex: v, key: lb, res: -1})
 		e.trace(Event{Kind: EventEnqueue, Vertex: v, Node: e.pt.Node(v), Length: lb})
 	}
 	endDivide(int64(len(cands)))

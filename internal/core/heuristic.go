@@ -73,15 +73,14 @@ func (h SourceSetHeuristic) H(v graph.NodeID) graph.Weight {
 // the better"), everything else falls back. The mixture is admissible but
 // not consistent, which SubspaceSearch tolerates by re-expansion.
 type TreeHeuristic struct {
-	Dist     []graph.Weight // remaining distance for settled nodes
-	Settled  []bool
+	T        *SPT // exact remaining distances for settled nodes
 	Fallback Heuristic
 }
 
 // H implements Heuristic.
 func (h TreeHeuristic) H(v graph.NodeID) graph.Weight {
-	if int(v) < len(h.Settled) && h.Settled[v] {
-		return h.Dist[v]
+	if h.T.Settled(v) {
+		return h.T.Dist(v)
 	}
-	return h.Fallback.H(v)
+	return hOrZero(h.Fallback, v)
 }

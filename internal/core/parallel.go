@@ -88,6 +88,9 @@ func (opt *Options) NewPool(n int) *Pool {
 			ws = NewWorkspace(n)
 		}
 		ws.bound = bounds[i]
+		// Worker SearchResults live in the worker's arenas; rewinding them
+		// here invalidates only results of the workspace's previous query.
+		ws.beginQuery(false)
 		p.slots[i].ws = ws
 		//kpjlint:deterministic this IS core.Pool: workers only run tasks
 		// whose results are merged in task order, so scheduling never

@@ -13,22 +13,42 @@ type VertexID = int32
 // the tree path from the root to u and X_u is exactly the set of u's tree
 // child edges — the edges consumed by previously output paths. This
 // identification means no explicit excluded-edge sets are stored.
+//
+// All layout is struct-of-arrays indexed by dense vertex id; the X_u child
+// sets live in one index-linked arena (kidHead/kidNode/kidNext) instead of
+// a slice-of-slices, so inserting a path never allocates once the arena has
+// reached its steady-state capacity and membership walks are array reads,
+// not pointer chases.
 type PseudoTree struct {
-	node   []graph.NodeID   // vertex -> space node
-	parent []VertexID       // vertex -> parent vertex (-1 at root)
-	plen   []graph.Weight   // vertex -> length of the root→vertex prefix
-	kids   [][]graph.NodeID // vertex -> space nodes of its tree children (X_u)
+	node   []graph.NodeID // vertex -> space node
+	parent []VertexID     // vertex -> parent vertex (-1 at root)
+	plen   []graph.Weight // vertex -> length of the root→vertex prefix
+
+	// X_u arena: kidHead[u] is u's first child slot (-1 when X_u is empty),
+	// kidNext chains the remaining slots, kidNode holds the excluded node.
+	kidHead []int32
+	kidNode []graph.NodeID
+	kidNext []int32
 }
 
 // NewPseudoTree returns a tree holding only the root vertex (vertex 0) for
 // the given space root node — the paper's PT_0.
 func NewPseudoTree(root graph.NodeID) *PseudoTree {
-	return &PseudoTree{
-		node:   []graph.NodeID{root},
-		parent: []VertexID{-1},
-		plen:   []graph.Weight{0},
-		kids:   [][]graph.NodeID{nil},
-	}
+	t := &PseudoTree{}
+	t.Reset(root)
+	return t
+}
+
+// Reset re-roots the tree at the given space node, dropping every vertex
+// but retaining all storage. Engines reuse one workspace-owned tree across
+// queries so the steady state inserts without allocating.
+func (t *PseudoTree) Reset(root graph.NodeID) {
+	t.node = append(t.node[:0], root)
+	t.parent = append(t.parent[:0], -1)
+	t.plen = append(t.plen[:0], 0)
+	t.kidHead = append(t.kidHead[:0], -1)
+	t.kidNode = t.kidNode[:0]
+	t.kidNext = t.kidNext[:0]
 }
 
 // Len returns the number of vertices.
@@ -43,10 +63,25 @@ func (t *PseudoTree) PrefixLen(u VertexID) graph.Weight { return t.plen[u] }
 // Parent returns u's parent vertex, -1 for the root.
 func (t *PseudoTree) Parent(u VertexID) VertexID { return t.parent[u] }
 
-// Excluded returns X_u: the space nodes reached by u's tree child edges,
-// i.e. the first hops banned in u's subspace. The slice must not be
-// modified and is invalidated by InsertSuffix.
-func (t *PseudoTree) Excluded(u VertexID) []graph.NodeID { return t.kids[u] }
+// ExcludedHas reports whether v is in X_u: the space nodes reached by u's
+// tree child edges, i.e. the first hops banned in u's subspace.
+func (t *PseudoTree) ExcludedHas(u VertexID, v graph.NodeID) bool {
+	for s := t.kidHead[u]; s >= 0; s = t.kidNext[s] {
+		if t.kidNode[s] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ExcludedLen returns |X_u|.
+func (t *PseudoTree) ExcludedLen(u VertexID) int {
+	n := 0
+	for s := t.kidHead[u]; s >= 0; s = t.kidNext[s] {
+		n++
+	}
+	return n
+}
 
 // PrefixNodes calls visit for every space node on the root→u tree path,
 // from u back to the root (u itself included).
@@ -56,37 +91,50 @@ func (t *PseudoTree) PrefixNodes(u VertexID, visit func(graph.NodeID)) {
 	}
 }
 
-// PrefixPath returns the root→u node sequence in forward order.
-func (t *PseudoTree) PrefixPath(u VertexID) []graph.NodeID {
-	var rev []graph.NodeID
-	t.PrefixNodes(u, func(v graph.NodeID) { rev = append(rev, v) })
+// AppendPrefixPath appends the root→u node sequence in forward order to dst
+// and returns the extended slice (reusing dst's capacity).
+func (t *PseudoTree) AppendPrefixPath(dst []graph.NodeID, u VertexID) []graph.NodeID {
+	base := len(dst)
+	for v := u; v >= 0; v = t.parent[v] {
+		dst = append(dst, t.node[v])
+	}
+	rev := dst[base:]
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return dst
+}
+
+// PrefixPath returns the root→u node sequence in forward order as a fresh
+// slice. Hot paths use AppendPrefixPath with a reused buffer instead.
+func (t *PseudoTree) PrefixPath(u VertexID) []graph.NodeID {
+	return t.AppendPrefixPath(nil, u)
 }
 
 // InsertSuffix records an output path that deviates from the tree at
 // vertex d: suffix is the node sequence after d's node (so the full path is
-// PrefixPath(d) + suffix), and suffixLens[i] is the length of the full path
-// up to and including suffix[i]. It creates one new vertex per suffix node,
-// linking d→suffix[0]→…, and returns the new vertex ids in order. This is
+// the root→d prefix + suffix), and suffixLens[i] is the length of the full
+// path up to and including suffix[i]. It creates one new vertex per suffix
+// node, linking d→suffix[0]→…, and returns the first new vertex id; the
+// created ids are the consecutive range [first, first+len(suffix)). This is
 // the pseudo-tree update of the paper's Alg. 1 line 5 / Alg. 2 line 8.
-func (t *PseudoTree) InsertSuffix(d VertexID, suffix []graph.NodeID, suffixLens []graph.Weight) []VertexID {
+func (t *PseudoTree) InsertSuffix(d VertexID, suffix []graph.NodeID, suffixLens []graph.Weight) (first VertexID) {
 	if len(suffix) != len(suffixLens) {
 		panic("core: suffix/lengths size mismatch")
 	}
-	created := make([]VertexID, len(suffix))
+	first = VertexID(len(t.node))
 	prev := d
 	for i, nd := range suffix {
 		u := VertexID(len(t.node))
 		t.node = append(t.node, nd)
 		t.parent = append(t.parent, prev)
 		t.plen = append(t.plen, suffixLens[i])
-		t.kids = append(t.kids, nil)
-		t.kids[prev] = append(t.kids[prev], nd)
-		created[i] = u
+		t.kidHead = append(t.kidHead, -1)
+		slot := int32(len(t.kidNode))
+		t.kidNode = append(t.kidNode, nd)
+		t.kidNext = append(t.kidNext, t.kidHead[prev])
+		t.kidHead[prev] = slot
 		prev = u
 	}
-	return created
+	return first
 }

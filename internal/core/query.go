@@ -71,6 +71,13 @@ type Options struct {
 	// repeated queries against the same category skip the O(|L|·|V_T|)
 	// rebuild. Ignored without an Index.
 	SetBounds *landmark.SetBoundsCache
+	// ReuseResults makes the returned Paths alias workspace-owned storage
+	// instead of copying per path: the result is valid only until the
+	// Workspace's next query. Combined with a warm Workspace and a
+	// SetBounds cache this makes the steady-state query path allocation-
+	// free. Callers that retain paths must copy them (or leave this off,
+	// the default).
+	ReuseResults bool
 
 	// bound is materialized by Prepare from Context and Budget.
 	bound *Bound
@@ -138,5 +145,6 @@ func Prepare(g *graph.Graph, q Query, opt *Options, needAlpha bool) (*Workspace,
 		opt.bound = newSentinelBound()
 	}
 	opt.Workspace.bound = opt.bound
+	opt.Workspace.beginQuery(opt.ReuseResults)
 	return opt.Workspace, nil
 }

@@ -69,17 +69,6 @@ func (ws *Workspace) SubspaceSearch(sp *Space, pt *PseudoTree, u VertexID, h Heu
 		st.Searches++
 	}
 
-	// Expand the start vertex by hand so the X_u first-hop exclusions
-	// apply; the main loop below never re-expands it (it is banned).
-	excluded := pt.Excluded(u)
-	isExcluded := func(v graph.NodeID) bool {
-		for _, x := range excluded {
-			if x == v {
-				return true
-			}
-		}
-		return false
-	}
 	relax := func(from, to graph.NodeID, nd graph.Weight) {
 		if ws.isBanned(to) {
 			return
@@ -117,8 +106,10 @@ func (ws *Workspace) SubspaceSearch(sp *Space, pt *PseudoTree, u VertexID, h Heu
 		// The subspace's own prefix already exceeds the bound.
 		return SearchResult{}, Exceeded
 	}
+	// Expand the start vertex by hand so the X_u first-hop exclusions
+	// apply; the main loop below never re-expands it (it is banned).
 	sp.Expand(start, func(to graph.NodeID, w graph.Weight) {
-		if !isExcluded(to) {
+		if !pt.ExcludedHas(u, to) {
 			relax(start, to, startDist+w)
 		}
 	})
@@ -147,20 +138,25 @@ func (ws *Workspace) SubspaceSearch(sp *Space, pt *PseudoTree, u VertexID, h Heu
 }
 
 // reconstruct walks the parent pointers from the goal back to the start
-// vertex's node and packages the suffix in forward order.
+// vertex's node and packages the suffix in forward order. Suffix and Lens
+// live in the workspace's per-query arenas: valid until the workspace's
+// next query, copied by PseudoTree.InsertSuffix and path materialization
+// before then.
 func (ws *Workspace) reconstruct(pt *PseudoTree, u VertexID, goal graph.NodeID) SearchResult {
 	start := pt.Node(u)
-	var rev []graph.NodeID
+	rev := ws.rev[:0]
 	for v := goal; v != start; v = ws.parent[v] {
 		rev = append(rev, v)
 	}
+	ws.rev = rev
+	n := len(rev)
 	res := SearchResult{
-		Suffix: make([]graph.NodeID, len(rev)),
-		Lens:   make([]graph.Weight, len(rev)),
+		Suffix: ws.nodeArena.take(n)[:n],
+		Lens:   ws.lenArena.take(n)[:n],
 		Total:  ws.dist[goal],
 	}
 	for i := range rev {
-		v := rev[len(rev)-1-i]
+		v := rev[n-1-i]
 		res.Suffix[i] = v
 		res.Lens[i] = ws.dist[v]
 	}
@@ -182,7 +178,6 @@ func (ws *Workspace) CompLB(sp *Space, pt *PseudoTree, u VertexID, h Heuristic, 
 		st.LowerBounds++
 	}
 
-	excluded := pt.Excluded(u)
 	lb := graph.Infinity
 	sawBlocked := false
 	prefix := pt.PrefixLen(u)
@@ -191,10 +186,8 @@ func (ws *Workspace) CompLB(sp *Space, pt *PseudoTree, u VertexID, h Heuristic, 
 		if ws.isBanned(to) {
 			return
 		}
-		for _, x := range excluded {
-			if x == to {
-				return
-			}
+		if pt.ExcludedHas(u, to) {
+			return
 		}
 		if rootPruner != nil {
 			if ok, definitive := rootPruner.Allow(to); !ok {

@@ -93,8 +93,11 @@ func TestTestLBContract(t *testing.T) {
 		if status != Found {
 			continue // no path at all from this source
 		}
-		created := pt.InsertSuffix(0, res.Suffix, res.Lens)
-		vertices := append([]VertexID{0}, created...)
+		firstNew := pt.InsertSuffix(0, res.Suffix, res.Lens)
+		vertices := []VertexID{0}
+		for v := firstNew; v < firstNew+VertexID(len(res.Suffix)); v++ {
+			vertices = append(vertices, v)
+		}
 		for _, u := range vertices {
 			if pt.Node(u) == sp.Goal {
 				continue
@@ -180,8 +183,12 @@ func TestCompLBIsLowerBound(t *testing.T) {
 		if status != Found {
 			continue
 		}
-		created := pt.InsertSuffix(0, res.Suffix, res.Lens)
-		for _, u := range append([]VertexID{0}, created...) {
+		firstNew := pt.InsertSuffix(0, res.Suffix, res.Lens)
+		vertices := []VertexID{0}
+		for v := firstNew; v < firstNew+VertexID(len(res.Suffix)); v++ {
+			vertices = append(vertices, v)
+		}
+		for _, u := range vertices {
 			if pt.Node(u) == sp.Goal {
 				continue
 			}

@@ -33,7 +33,13 @@ type Space struct {
 	Goal graph.NodeID // where every enumerated path ends
 
 	rootMembers []graph.NodeID // expansion of a virtual Root (weight 0)
-	goalMember  []bool         // physical v with a 0-edge v→Goal; nil if Goal is physical
+
+	// goalMember is an epoch-stamped membership array over physical nodes:
+	// v has a 0-edge v→Goal iff goalMember[v] == goalEpoch. Stamping lets a
+	// workspace-owned array be re-seeded in O(|targets|) per query instead
+	// of O(n). Nil when Goal is physical.
+	goalMember []uint32
+	goalEpoch  uint32
 }
 
 // Virtual node ids: the V_T-side virtual node is n, the V_S-side one n+1.
@@ -53,40 +59,53 @@ func (sp *Space) IsVirtual(v graph.NodeID) bool { return int(v) >= sp.G.NumNodes
 // paths from the source side (one physical source, or a virtual source
 // covering several) to the virtual target covering targets.
 func NewForwardSpace(g *graph.Graph, sources, targets []graph.NodeID) *Space {
-	sp := &Space{G: g, Dir: graph.Forward}
+	sp := &Space{}
+	sp.initForward(g, sources, targets, make([]uint32, g.NumNodes()), 1)
+	return sp
+}
+
+// initForward is NewForwardSpace into caller-owned storage: stamp is the
+// goal-membership array (its entries equal to epoch mark members), so a
+// workspace can recycle the array across queries with an epoch bump.
+func (sp *Space) initForward(g *graph.Graph, sources, targets []graph.NodeID, stamp []uint32, epoch uint32) {
+	*sp = Space{G: g, Dir: graph.Forward}
 	sp.Goal = sp.vtNode()
-	sp.goalMember = memberSet(g.NumNodes(), targets)
+	sp.goalMember, sp.goalEpoch = stampMembers(stamp, epoch, targets)
 	if len(sources) == 1 {
 		sp.Root = sources[0]
 	} else {
 		sp.Root = sp.vsNode()
 		sp.rootMembers = sources
 	}
-	return sp
 }
 
 // NewReverseSpace builds the space used by IterBound-SPT_I: paths from the
 // virtual target (root, expanding to every target with weight 0) backwards
 // to the source side.
 func NewReverseSpace(g *graph.Graph, sources, targets []graph.NodeID) *Space {
-	sp := &Space{G: g, Dir: graph.Backward}
+	sp := &Space{}
+	sp.initReverse(g, sources, targets, make([]uint32, g.NumNodes()), 1)
+	return sp
+}
+
+// initReverse is NewReverseSpace into caller-owned storage; see initForward.
+func (sp *Space) initReverse(g *graph.Graph, sources, targets []graph.NodeID, stamp []uint32, epoch uint32) {
+	*sp = Space{G: g, Dir: graph.Backward}
 	sp.Root = sp.vtNode()
 	sp.rootMembers = targets
 	if len(sources) == 1 {
 		sp.Goal = sources[0]
 	} else {
 		sp.Goal = sp.vsNode()
-		sp.goalMember = memberSet(g.NumNodes(), sources)
+		sp.goalMember, sp.goalEpoch = stampMembers(stamp, epoch, sources)
 	}
-	return sp
 }
 
-func memberSet(n int, nodes []graph.NodeID) []bool {
-	set := make([]bool, n)
+func stampMembers(stamp []uint32, epoch uint32, nodes []graph.NodeID) ([]uint32, uint32) {
 	for _, v := range nodes {
-		set[v] = true
+		stamp[v] = epoch
 	}
-	return set
+	return stamp, epoch
 }
 
 // RootMembers returns the expansion set of a virtual root (nil when the
@@ -112,7 +131,7 @@ func (sp *Space) Expand(v graph.NodeID, yield func(to graph.NodeID, w graph.Weig
 	for _, e := range sp.G.Edges(sp.Dir, v) {
 		yield(e.To, e.W)
 	}
-	if sp.goalMember != nil && sp.goalMember[v] {
+	if sp.goalMember != nil && sp.goalMember[v] == sp.goalEpoch {
 		yield(sp.Goal, 0)
 	}
 }
@@ -134,16 +153,27 @@ func (p Path) String() string {
 // physical Path: virtual endpoints are stripped and, for a reverse space,
 // the order is flipped so Nodes always reads source→destination.
 func (sp *Space) Materialize(spaceNodes []graph.NodeID, length graph.Weight) Path {
-	nodes := make([]graph.NodeID, 0, len(spaceNodes))
+	return Path{
+		Nodes:  sp.materializeInto(make([]graph.NodeID, 0, len(spaceNodes)), spaceNodes),
+		Length: length,
+	}
+}
+
+// materializeInto appends the physical node sequence of a space path to dst
+// (stripping virtual nodes, flipping reverse-space order) and returns the
+// extended slice. Hot paths pass arena- or scratch-backed dst.
+func (sp *Space) materializeInto(dst, spaceNodes []graph.NodeID) []graph.NodeID {
+	base := len(dst)
 	for _, v := range spaceNodes {
 		if !sp.IsVirtual(v) {
-			nodes = append(nodes, v)
+			dst = append(dst, v)
 		}
 	}
 	if sp.Dir == graph.Backward {
-		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-			nodes[i], nodes[j] = nodes[j], nodes[i]
+		seg := dst[base:]
+		for i, j := 0, len(seg)-1; i < j; i, j = i+1, j-1 {
+			seg[i], seg[j] = seg[j], seg[i]
 		}
 	}
-	return Path{Nodes: nodes, Length: length}
+	return dst
 }

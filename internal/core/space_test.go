@@ -116,34 +116,46 @@ func TestPseudoTreeInsertAndExclude(t *testing.T) {
 	if pt.Len() != 1 || pt.Node(0) != 100 || pt.Parent(0) != -1 || pt.PrefixLen(0) != 0 {
 		t.Fatal("bad root vertex")
 	}
-	// Insert path 100→5→7 with cumulative lengths 2, 6.
-	created := pt.InsertSuffix(0, []graph.NodeID{5, 7}, []graph.Weight{2, 6})
-	if len(created) != 2 {
-		t.Fatalf("created = %v", created)
+	// Insert path 100→5→7 with cumulative lengths 2, 6. The created ids are
+	// the consecutive range starting at the returned first vertex.
+	first := pt.InsertSuffix(0, []graph.NodeID{5, 7}, []graph.Weight{2, 6})
+	if first != 1 || pt.Len() != 3 {
+		t.Fatalf("first = %d, Len = %d, want 1, 3", first, pt.Len())
 	}
-	if pt.Node(created[0]) != 5 || pt.PrefixLen(created[0]) != 2 {
+	if pt.Node(first) != 5 || pt.PrefixLen(first) != 2 {
 		t.Fatal("first suffix vertex wrong")
 	}
-	if pt.Node(created[1]) != 7 || pt.PrefixLen(created[1]) != 6 || pt.Parent(created[1]) != created[0] {
+	if pt.Node(first+1) != 7 || pt.PrefixLen(first+1) != 6 || pt.Parent(first+1) != first {
 		t.Fatal("second suffix vertex wrong")
 	}
-	if x := pt.Excluded(0); len(x) != 1 || x[0] != 5 {
-		t.Fatalf("root exclusions = %v, want [5]", x)
+	if !pt.ExcludedHas(0, 5) || pt.ExcludedHas(0, 9) || pt.ExcludedLen(0) != 1 {
+		t.Fatalf("root exclusions: has5=%v has9=%v len=%d, want [5]",
+			pt.ExcludedHas(0, 5), pt.ExcludedHas(0, 9), pt.ExcludedLen(0))
 	}
 	// Insert a second path deviating at the root: 100→9.
 	pt.InsertSuffix(0, []graph.NodeID{9}, []graph.Weight{4})
-	if x := pt.Excluded(0); len(x) != 2 || x[1] != 9 {
-		t.Fatalf("root exclusions = %v, want [5 9]", x)
+	if !pt.ExcludedHas(0, 5) || !pt.ExcludedHas(0, 9) || pt.ExcludedLen(0) != 2 {
+		t.Fatalf("root exclusions len=%d, want [5 9]", pt.ExcludedLen(0))
 	}
 	// Prefix path of the deep vertex.
-	if p := pt.PrefixPath(created[1]); len(p) != 3 || p[0] != 100 || p[1] != 5 || p[2] != 7 {
+	if p := pt.PrefixPath(first + 1); len(p) != 3 || p[0] != 100 || p[1] != 5 || p[2] != 7 {
 		t.Fatalf("PrefixPath = %v", p)
+	}
+	// AppendPrefixPath reuses the destination buffer in place.
+	buf := make([]graph.NodeID, 0, 8)
+	if p := pt.AppendPrefixPath(buf, first+1); len(p) != 3 || p[2] != 7 || &p[0] != &buf[:1][0] {
+		t.Fatalf("AppendPrefixPath = %v (reuse=%v)", p, len(p) == 3 && &p[0] == &buf[:1][0])
 	}
 	// Prefix enumeration visits bottom-up.
 	var seen []graph.NodeID
-	pt.PrefixNodes(created[1], func(v graph.NodeID) { seen = append(seen, v) })
+	pt.PrefixNodes(first+1, func(v graph.NodeID) { seen = append(seen, v) })
 	if len(seen) != 3 || seen[0] != 7 || seen[2] != 100 {
 		t.Fatalf("PrefixNodes order = %v", seen)
+	}
+	// Reset drops every vertex but keeps the root usable.
+	pt.Reset(42)
+	if pt.Len() != 1 || pt.Node(0) != 42 || pt.ExcludedLen(0) != 0 {
+		t.Fatalf("after Reset: Len=%d Node=%d excl=%d", pt.Len(), pt.Node(0), pt.ExcludedLen(0))
 	}
 }
 

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"kpj/internal/fault"
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+)
+
+// SPT is reusable shortest-path-tree scratch shared by the partial tree of
+// Section 5.2, the incremental tree of Section 5.3, and the deviation
+// baseline's full tree. All per-node state (distance, parent, settledness)
+// is epoch-stamped so a workspace-owned SPT restarts in O(1) per query
+// instead of paying an O(n) re-initialization — one of the two dominant
+// per-query costs the flat-layout work removes (the other being the
+// goal-membership sets of Space).
+type SPT struct {
+	dist   []graph.Weight
+	parent []graph.NodeID
+	reach  []uint32 // dist/parent valid iff reach[v] == epoch
+	done   []uint32 // settled iff done[v] == epoch
+	epoch  uint32
+
+	q  *pqueue.NodeQueue
+	bq *pqueue.BucketQueue
+}
+
+// begin starts a fresh tree over space-node ids [0, n): all nodes read as
+// unreached/unsettled and the queue is empty.
+func (t *SPT) begin(n int) {
+	if len(t.dist) < n {
+		t.dist = make([]graph.Weight, n)
+		t.parent = make([]graph.NodeID, n)
+		t.reach = make([]uint32, n)
+		t.done = make([]uint32, n)
+		t.epoch = 0
+	}
+	t.epoch++
+	if t.epoch == 0 { // stamp wrap: pay one O(n) clear every 2^32 queries
+		for i := range t.reach {
+			t.reach[i] = 0
+			t.done[i] = 0
+		}
+		t.epoch = 1
+	}
+	if t.q == nil {
+		t.q = pqueue.NewNodeQueue(n)
+	} else {
+		t.q.Grow(n)
+		t.q.Reset()
+	}
+}
+
+// bucket returns the tree's monotone bucket queue, reset and ready. Only
+// plain-Dijkstra builds (no heuristic) may use it; A*-keyed growth keeps
+// the decrease-key NodeQueue.
+func (t *SPT) bucket() *pqueue.BucketQueue {
+	if t.bq == nil {
+		t.bq = pqueue.NewBucketQueue()
+	} else {
+		t.bq.Reset()
+	}
+	return t.bq
+}
+
+// Dist returns the tentative (exact once settled) distance of v from the
+// tree root, graph.Infinity when unreached.
+func (t *SPT) Dist(v graph.NodeID) graph.Weight {
+	if t.reach[v] != t.epoch {
+		return graph.Infinity
+	}
+	return t.dist[v]
+}
+
+// Parent returns v's predecessor toward the root, -1 for the root and
+// unreached nodes. For trees built over a reverse space the root is the
+// virtual target, so Parent is the successor toward the target.
+func (t *SPT) Parent(v graph.NodeID) graph.NodeID {
+	if t.reach[v] != t.epoch {
+		return -1
+	}
+	return t.parent[v]
+}
+
+// Settled reports whether v's distance is final.
+func (t *SPT) Settled(v graph.NodeID) bool { return t.done[v] == t.epoch }
+
+func (t *SPT) setDist(v graph.NodeID, d graph.Weight, p graph.NodeID) {
+	t.dist[v] = d
+	t.parent[v] = p
+	t.reach[v] = t.epoch
+}
+
+func (t *SPT) setParent(v, p graph.NodeID) { t.parent[v] = p }
+
+func (t *SPT) settle(v graph.NodeID) { t.done[v] = t.epoch }
+
+// BuildFullSPT runs a complete Dijkstra over the space from its root into
+// the workspace's SPT scratch — the deviation baseline's full tree ("the
+// dominating cost of constructing the full SPT" the paper attributes to
+// DA-SPT). Integer road weights take the monotone bucket queue; the result
+// is bit-identical whichever queue runs because equal-length ties keep the
+// minimum-id parent (every optimal predecessor relaxes the edge exactly
+// once when popped non-stale, so the running min is queue-order
+// independent). When bound trips the build stops; the caller's main loop
+// sees the sticky error before any path is emitted, so the incomplete tree
+// is never trusted.
+func (ws *Workspace) BuildFullSPT(sp *Space, st *Stats, bound *Bound) *SPT {
+	t := &ws.spt
+	t.begin(sp.NumSpaceNodes())
+	t.setDist(sp.Root, 0, -1)
+	if sp.G.MaxEdgeWeight() <= pqueue.MaxBucketEdgeWeight {
+		q := t.bucket()
+		q.Push(sp.Root, 0)
+		for q.Len() > 0 {
+			if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
+				bound.Inject(ferr)
+			}
+			if bound.Step() != nil {
+				break
+			}
+			v, d := q.Pop()
+			if d > t.Dist(v) {
+				continue // stale lazy-insertion duplicate
+			}
+			t.settle(v)
+			if st != nil {
+				st.SPTNodes++
+				st.NodesPopped++
+			}
+			sp.Expand(v, func(to graph.NodeID, w graph.Weight) {
+				nd := d + w
+				if nd < t.Dist(to) {
+					t.setDist(to, nd, v)
+					q.Push(to, nd)
+				} else if nd == t.Dist(to) && v < t.Parent(to) {
+					t.setParent(to, v)
+				}
+			})
+		}
+		return t
+	}
+	q := t.q
+	q.PushOrDecrease(sp.Root, 0)
+	for q.Len() > 0 {
+		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
+			bound.Inject(ferr)
+		}
+		if bound.Step() != nil {
+			break
+		}
+		vi, d := q.Pop()
+		v := graph.NodeID(vi)
+		t.settle(v)
+		if st != nil {
+			st.SPTNodes++
+			st.NodesPopped++
+		}
+		sp.Expand(v, func(to graph.NodeID, w graph.Weight) {
+			nd := d + w
+			if nd < t.Dist(to) {
+				t.setDist(to, nd, v)
+				q.PushOrDecrease(to, nd)
+			} else if nd == t.Dist(to) && v < t.Parent(to) {
+				t.setParent(to, v)
+			}
+		})
+	}
+	return t
+}

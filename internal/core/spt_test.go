@@ -29,14 +29,15 @@ func TestPartialSPTExactDistances(t *testing.T) {
 			}
 			revH = SourceHeuristic{Space: rev, Index: ix, Source: src}
 		}
-		dt, settled, init, ok := buildPartialSPT(rev, revH, nil, nil)
+		ws := NewWorkspace(rev.NumSpaceNodes())
+		tree, init, ok := buildPartialSPT(ws, rev, revH, nil, nil)
 		if !ok {
 			t.Fatalf("trial %d: no path in connected graph", trial)
 		}
 		exact := sssp.DistancesToSet(g, targets)
-		for v := 0; v < n; v++ {
-			if settled[v] && dt[v] != exact[v] {
-				t.Fatalf("trial %d: SPT_P dt[%d] = %d, want %d", trial, v, dt[v], exact[v])
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if tree.Settled(v) && tree.Dist(v) != exact[v] {
+				t.Fatalf("trial %d: SPT_P dt[%d] = %d, want %d", trial, v, tree.Dist(v), exact[v])
 			}
 		}
 		// The initial path it hands back is the true shortest one.
@@ -72,7 +73,8 @@ func TestIncrementalSPTCoverage(t *testing.T) {
 			}
 			growH = CategoryHeuristic{Space: fwd, Bounds: ix.BoundsToSet(targets)}
 		}
-		tree := newSPTI(fwd, growH, nil, nil)
+		ws := NewWorkspace(fwd.NumSpaceNodes())
+		tree := ws.initSPTI(fwd, growH, nil, nil)
 		init, ok := tree.initialPath()
 		if !ok {
 			t.Fatalf("trial %d: no initial path", trial)
@@ -86,10 +88,10 @@ func TestIncrementalSPTCoverage(t *testing.T) {
 			tree.growTo(tau)
 			for v := 0; v < n; v++ {
 				id := graph.NodeID(v)
-				if tree.settled[id] && tree.ds[id] != exactFrom[id] {
-					t.Fatalf("trial %d τ=%d: ds[%d] = %d, want %d", trial, tau, v, tree.ds[id], exactFrom[id])
+				if tree.t.Settled(id) && tree.t.Dist(id) != exactFrom[id] {
+					t.Fatalf("trial %d τ=%d: ds[%d] = %d, want %d", trial, tau, v, tree.t.Dist(id), exactFrom[id])
 				}
-				if exactFrom[id]+exactTo[id] <= tau && !tree.settled[id] {
+				if exactFrom[id]+exactTo[id] <= tau && !tree.t.Settled(id) {
 					t.Fatalf("trial %d τ=%d: node %d on a ≤τ path but not in SPT_I (ds=%d toT=%d)",
 						trial, tau, v, exactFrom[id], exactTo[id])
 				}
@@ -101,8 +103,7 @@ func TestIncrementalSPTCoverage(t *testing.T) {
 		if !tree.exhausted() {
 			t.Fatalf("trial %d: tree not exhausted after unbounded growth", trial)
 		}
-		p := sptiPruner{t: tree}
-		if ok, _ := p.Allow(src); !ok {
+		if ok, _ := tree.Allow(src); !ok {
 			t.Fatalf("trial %d: source excluded from SPT_I", trial)
 		}
 	}
@@ -110,17 +111,25 @@ func TestIncrementalSPTCoverage(t *testing.T) {
 
 // TreeHeuristic must prefer exact tree distances and fall back elsewhere.
 func TestTreeHeuristicOverlay(t *testing.T) {
-	settled := []bool{true, false}
-	dist := []graph.Weight{7, 99}
-	h := TreeHeuristic{Dist: dist, Settled: settled, Fallback: ZeroHeuristic{}}
+	var spt SPT
+	spt.begin(6)
+	spt.setDist(0, 7, -1)
+	spt.settle(0)
+	spt.setDist(1, 99, -1) // reached but not settled: still fallback
+	h := TreeHeuristic{T: &spt, Fallback: ZeroHeuristic{}}
 	if h.H(0) != 7 {
 		t.Fatalf("H(0) = %d, want 7 (tree)", h.H(0))
 	}
 	if h.H(1) != 0 {
 		t.Fatalf("H(1) = %d, want 0 (fallback)", h.H(1))
 	}
-	if h.H(5) != 0 { // out of settled range: fallback
+	if h.H(5) != 0 { // never touched by the tree: fallback
 		t.Fatalf("H(5) = %d, want 0", h.H(5))
+	}
+	// A fresh epoch forgets all settled state without clearing arrays.
+	spt.begin(6)
+	if h.H(0) != 0 {
+		t.Fatalf("H(0) after begin = %d, want 0 (stamps invalidated)", h.H(0))
 	}
 }
 
@@ -137,7 +146,7 @@ func TestSPTIHeuristicAdmissible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree := newSPTI(fwd, CategoryHeuristic{Space: fwd, Bounds: ix.BoundsToSet(targets)}, nil, nil)
+	tree := NewWorkspace(fwd.NumSpaceNodes()).initSPTI(fwd, CategoryHeuristic{Space: fwd, Bounds: ix.BoundsToSet(targets)}, nil, nil)
 	if _, ok := tree.initialPath(); !ok {
 		t.Fatal("no initial path")
 	}

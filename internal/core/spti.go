@@ -3,48 +3,37 @@ package core
 import (
 	"kpj/internal/fault"
 	"kpj/internal/graph"
-	"kpj/internal/pqueue"
 )
 
 // sptiTree is the incremental shortest path tree of Section 5.3: a paused
 // A* over the FORWARD space from the source side toward the destination
-// category, keyed by ds(v) + lb(v, V_T). Phase one (newSPTI + initialPath)
-// settles nodes until the virtual target is reached — the by-product is
-// the first shortest path. growTo(τ) then resumes the search until every
-// node with ds(v) + lb(v, V_T) ≤ τ is settled, which by Prop. 5.2 covers
-// every node on any source→V_T path of length ≤ τ. The reverse-space
-// TestLB prunes everything not settled here.
+// category, keyed by ds(v) + lb(v, V_T). Phase one (initSPTI +
+// initialPath) settles nodes until the virtual target is reached — the
+// by-product is the first shortest path. growTo(τ) then resumes the search
+// until every node with ds(v) + lb(v, V_T) ≤ τ is settled, which by
+// Prop. 5.2 covers every node on any source→V_T path of length ≤ τ. The
+// reverse-space TestLB prunes everything not settled here.
+//
+// The tree state lives in the workspace's shared SPT scratch; only this
+// thin driver is per-query.
 type sptiTree struct {
-	fwd     *Space
-	h       Heuristic // growth key heuristic: Eq. 2 bound toward V_T (or zero)
-	ds      []graph.Weight
-	parent  []graph.NodeID
-	settled []bool
+	fwd *Space
+	h   Heuristic // growth key heuristic: Eq. 2 bound toward V_T (or zero)
+	t   *SPT
+	ws  *Workspace
 	// nsettled counts settled nodes for the spt_build/grow span payloads.
 	nsettled int
-	q        *pqueue.NodeQueue
 	st       *Stats
 	bound    *Bound
 }
 
-func newSPTI(fwd *Space, h Heuristic, st *Stats, bound *Bound) *sptiTree {
-	n := fwd.NumSpaceNodes()
-	t := &sptiTree{
-		fwd:     fwd,
-		h:       h,
-		ds:      make([]graph.Weight, n),
-		parent:  make([]graph.NodeID, n),
-		settled: make([]bool, n),
-		q:       pqueue.NewNodeQueue(n),
-		st:      st,
-		bound:   bound,
-	}
-	for i := range t.ds {
-		t.ds[i] = graph.Infinity
-		t.parent[i] = -1
-	}
-	t.ds[fwd.Root] = 0
-	t.q.PushOrDecrease(int32(fwd.Root), hOrZero(h, fwd.Root))
+// initSPTI seeds the workspace-cached incremental tree for a new query.
+func (ws *Workspace) initSPTI(fwd *Space, h Heuristic, st *Stats, bound *Bound) *sptiTree {
+	t := &ws.spti
+	*t = sptiTree{fwd: fwd, h: h, t: &ws.spt, ws: ws, st: st, bound: bound}
+	t.t.begin(fwd.NumSpaceNodes())
+	t.t.setDist(fwd.Root, 0, -1)
+	t.t.q.PushOrDecrease(fwd.Root, hOrZero(h, fwd.Root))
 	return t
 }
 
@@ -52,7 +41,7 @@ func newSPTI(fwd *Space, h Heuristic, st *Stats, bound *Bound) *sptiTree {
 // frontier is exhausted or the query bound tripped — the two are told
 // apart by exhausted()/the bound's sticky error).
 func (t *sptiTree) settleOne() graph.NodeID {
-	for t.q.Len() > 0 {
+	for t.t.q.Len() > 0 {
 		// The mid-SPT-growth fault point: injected errors stop growth via
 		// the bound, and the engine aborts with its prefix at the next poll.
 		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
@@ -61,26 +50,26 @@ func (t *sptiTree) settleOne() graph.NodeID {
 		if t.bound.Step() != nil {
 			return -1
 		}
-		vi, _ := t.q.Pop()
+		vi, _ := t.t.q.Pop()
 		v := graph.NodeID(vi)
-		if t.settled[v] {
+		if t.t.Settled(v) {
 			continue
 		}
-		t.settled[v] = true
+		t.t.settle(v)
 		t.nsettled++
 		if t.st != nil {
 			t.st.SPTNodes++
 			t.st.NodesPopped++
 		}
+		dv := t.t.Dist(v)
 		t.fwd.Expand(v, func(to graph.NodeID, w graph.Weight) {
-			if nd := t.ds[v] + w; nd < t.ds[to] {
+			if nd := dv + w; nd < t.t.Dist(to) {
 				h := hOrZero(t.h, to)
 				if h >= graph.Infinity {
 					return
 				}
-				t.ds[to] = nd
-				t.parent[to] = v
-				t.q.PushOrDecrease(int32(to), nd+h)
+				t.t.setDist(to, nd, v)
+				t.t.q.PushOrDecrease(to, nd+h)
 			}
 		})
 		return v
@@ -90,27 +79,32 @@ func (t *sptiTree) settleOne() graph.NodeID {
 
 // initialPath runs phase one: grow until the forward goal (the virtual
 // target) settles, and return the first shortest path translated into the
-// REVERSE space (suffix after the reverse root, cumulative lengths).
+// REVERSE space (suffix after the reverse root, cumulative lengths). The
+// result lives in the workspace arenas, like every SearchResult.
 func (t *sptiTree) initialPath() (SearchResult, bool) {
-	for !t.settled[t.fwd.Goal] {
+	for !t.t.Settled(t.fwd.Goal) {
 		if t.settleOne() < 0 {
 			return SearchResult{}, false
 		}
 	}
 	// Forward chain goal→root via parents, which read left to right is
 	// exactly the reverse-space order: virtual target → … → source side.
-	var chain []graph.NodeID
-	for v := t.fwd.Goal; v >= 0; v = t.parent[v] {
+	chain := t.ws.rev[:0]
+	for v := t.fwd.Goal; v >= 0; v = t.t.Parent(v) {
 		chain = append(chain, v)
 	}
-	total := t.ds[t.fwd.Goal]
+	t.ws.rev = chain
+	total := t.t.Dist(t.fwd.Goal)
+	n := len(chain) - 1 // reverse-space root is the virtual target
 	res := SearchResult{
-		Suffix: chain[1:], // reverse-space root is the virtual target
-		Lens:   make([]graph.Weight, len(chain)-1),
+		Suffix: t.ws.nodeArena.take(n)[:n],
+		Lens:   t.ws.lenArena.take(n)[:n],
 		Total:  total,
 	}
-	for i, v := range res.Suffix {
-		res.Lens[i] = total - t.ds[v]
+	for i := 0; i < n; i++ {
+		v := chain[i+1]
+		res.Suffix[i] = v
+		res.Lens[i] = total - t.t.Dist(v)
 	}
 	return res, true
 }
@@ -118,7 +112,7 @@ func (t *sptiTree) initialPath() (SearchResult, bool) {
 // growTo resumes the search until every node with key ≤ tau is settled
 // (keys are monotone because the growth heuristic is consistent).
 func (t *sptiTree) growTo(tau graph.Weight) {
-	for t.q.Len() > 0 && t.q.TopKey() <= tau {
+	for t.t.q.Len() > 0 && t.t.q.TopKey() <= tau {
 		if t.settleOne() < 0 {
 			return // bound tripped: stop growing, the engine will abort
 		}
@@ -127,21 +121,18 @@ func (t *sptiTree) growTo(tau graph.Weight) {
 
 // exhausted reports whether the tree can grow no further — at that point
 // "not in SPT_I" means "unreachable from the source side".
-func (t *sptiTree) exhausted() bool { return t.q.Len() == 0 }
+func (t *sptiTree) exhausted() bool { return t.t.q.Len() == 0 }
 
 // size returns the number of settled nodes (span payload).
 func (t *sptiTree) size() int { return t.nsettled }
 
-// sptiPruner restricts reverse-space searches to SPT_I nodes. Exclusions
-// are definitive only once the tree is exhausted.
-type sptiPruner struct{ t *sptiTree }
-
-// Allow implements Pruner.
-func (p sptiPruner) Allow(v graph.NodeID) (bool, bool) {
-	if p.t.settled[v] {
+// Allow implements Pruner, restricting reverse-space searches to SPT_I
+// nodes. Exclusions are definitive only once the tree is exhausted.
+func (t *sptiTree) Allow(v graph.NodeID) (bool, bool) {
+	if t.t.Settled(v) {
 		return true, true
 	}
-	return false, p.t.exhausted()
+	return false, t.exhausted()
 }
 
 // sptiHeuristic estimates the remaining distance in the REVERSE space
@@ -154,8 +145,8 @@ type sptiHeuristic struct {
 
 // H implements Heuristic.
 func (h sptiHeuristic) H(v graph.NodeID) graph.Weight {
-	if h.t.settled[v] {
-		return h.t.ds[v]
+	if h.t.t.Settled(v) {
+		return h.t.t.Dist(v)
 	}
 	return hOrZero(h.fallback, v)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"kpj/internal/fault"
 	"kpj/internal/graph"
-	"kpj/internal/pqueue"
 )
 
 // buildPartialSPT implements the paper's PartialSPT (Alg. 6): an A* search
@@ -13,36 +12,29 @@ import (
 // the search's own result is the first shortest path — SPT_P costs nothing
 // beyond computing P₁.
 //
-// rev is the reverse space; revH its heuristic (remaining toward the
-// source side). It returns the SPT arrays and the initial path translated
-// into the FORWARD space (suffix after the forward root, cumulative
-// lengths, total), or ok=false when no path exists.
-func buildPartialSPT(rev *Space, revH Heuristic, st *Stats, bound *Bound) (dt []graph.Weight, settled []bool, init SearchResult, ok bool) {
-	n := rev.NumSpaceNodes()
-	dt = make([]graph.Weight, n)
-	settled = make([]bool, n)
-	parent := make([]graph.NodeID, n)
-	for i := range dt {
-		dt[i] = graph.Infinity
-		parent[i] = -1
-	}
-	q := pqueue.NewNodeQueue(n)
+// The tree is built into ws's shared SPT scratch (epoch-stamped, so no
+// O(n) init); the initial path is translated into the FORWARD space
+// (suffix after the forward root, cumulative lengths, total) with its
+// slices in the workspace arenas. ok=false when no path exists.
+func buildPartialSPT(ws *Workspace, rev *Space, revH Heuristic, st *Stats, bound *Bound) (t *SPT, init SearchResult, ok bool) {
+	t = &ws.spt
+	t.begin(rev.NumSpaceNodes())
 	root := rev.Root
-	dt[root] = 0
-	q.PushOrDecrease(int32(root), hOrZero(revH, root))
-	for q.Len() > 0 {
+	t.setDist(root, 0, -1)
+	t.q.PushOrDecrease(root, hOrZero(revH, root))
+	for t.q.Len() > 0 {
 		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
 			bound.Inject(ferr)
 		}
 		if bound.Step() != nil {
 			break // abort: the goal stays unsettled, reported via ok=false
 		}
-		vi, _ := q.Pop()
+		vi, _ := t.q.Pop()
 		v := graph.NodeID(vi)
-		if settled[v] {
+		if t.Settled(v) {
 			continue
 		}
-		settled[v] = true
+		t.settle(v)
 		if st != nil {
 			st.SPTNodes++
 			st.NodesPopped++
@@ -50,39 +42,43 @@ func buildPartialSPT(rev *Space, revH Heuristic, st *Stats, bound *Bound) (dt []
 		if v == rev.Goal {
 			break
 		}
+		dv := t.Dist(v)
 		rev.Expand(v, func(to graph.NodeID, w graph.Weight) {
-			if nd := dt[v] + w; nd < dt[to] {
+			if nd := dv + w; nd < t.Dist(to) {
 				h := hOrZero(revH, to)
 				if h >= graph.Infinity {
 					return
 				}
-				dt[to] = nd
-				parent[to] = v
-				q.PushOrDecrease(int32(to), nd+h)
+				t.setDist(to, nd, v)
+				t.q.PushOrDecrease(to, nd+h)
 			}
 		})
 	}
-	if !settled[rev.Goal] {
-		return dt, settled, SearchResult{}, false
+	if !t.Settled(rev.Goal) {
+		return t, SearchResult{}, false
 	}
 
 	// Translate the found reverse path into the forward space: walking the
 	// reverse parents from the goal yields exactly the forward node order
 	// source-side → … → virtual target.
-	var chain []graph.NodeID
-	for v := rev.Goal; v >= 0; v = parent[v] {
+	chain := ws.rev[:0]
+	for v := rev.Goal; v >= 0; v = t.Parent(v) {
 		chain = append(chain, v)
 	}
-	total := dt[rev.Goal]
+	ws.rev = chain
+	total := t.Dist(rev.Goal)
+	n := len(chain) - 1
 	init = SearchResult{
-		Suffix: chain[1:],
-		Lens:   make([]graph.Weight, len(chain)-1),
+		Suffix: ws.nodeArena.take(n)[:n],
+		Lens:   ws.lenArena.take(n)[:n],
 		Total:  total,
 	}
-	for i, v := range init.Suffix {
-		init.Lens[i] = total - dt[v]
+	for i := 0; i < n; i++ {
+		v := chain[i+1]
+		init.Suffix[i] = v
+		init.Lens[i] = total - t.Dist(v)
 	}
-	return dt, settled, init, true
+	return t, init, true
 }
 
 func hOrZero(h Heuristic, v graph.NodeID) graph.Weight {

@@ -32,9 +32,11 @@ type Pruner interface {
 }
 
 // Workspace holds the reusable per-query scratch state for subspace
-// searches: tentative distances, parents, heuristic caches, ban marks, and
-// the search queue — all epoch-stamped so that the O(k·n) searches of a
-// single query never pay an O(n) clear. A Workspace is sized for one
+// searches: tentative distances, parents, heuristic caches, ban marks, the
+// search queues, SPT scratch, the pseudo-tree, the engine with its batch
+// buffers, cached heuristic boxes, and the result arenas — all epoch-
+// stamped or capacity-retaining so that a steady-state query on a warm
+// workspace performs zero heap allocations. A Workspace is sized for one
 // space-node-id range and is not safe for concurrent use.
 type Workspace struct {
 	n int
@@ -56,23 +58,61 @@ type Workspace struct {
 	// bound is the current query's interruption state, installed by
 	// Prepare (nil for unbounded queries and direct test use).
 	bound *Bound
+
+	// rev is chain-reversal scratch for path reconstruction.
+	rev []graph.NodeID
+
+	// spt is the shared shortest-path-tree scratch (SPT_P, SPT_I, and the
+	// deviation full tree — at most one per query).
+	spt  SPT
+	spti sptiTree
+
+	// fwdSp/revSp are the cached query spaces; fwdStamp/revStamp their
+	// epoch-stamped goal-membership arrays (shared memberEpoch, bumped per
+	// query), replacing the per-query O(|targets|) map builds.
+	fwdSp, revSp       Space
+	fwdStamp, revStamp []uint32
+	memberEpoch        uint32
+
+	// Cached heuristic boxes: returning &ws.catH etc. converts a pointer
+	// into the Heuristic interface, which never allocates, where boxing the
+	// struct value would.
+	catH  CategoryHeuristic
+	srcH  SourceHeuristic
+	setH  SourceSetHeuristic
+	treeH TreeHeuristic
+	sptiH sptiHeuristic
+
+	pt  PseudoTree
+	eng engine
+
+	// nodeArena/lenArena back the SearchResult suffixes and (with
+	// Options.ReuseResults) the emitted path node slices for the current
+	// query; both reset per query.
+	nodeArena arena[graph.NodeID]
+	lenArena  arena[graph.Weight]
+
+	reuseResults bool
 }
 
 // NewWorkspace returns a Workspace for space-node ids in [0, n).
 // Use Space.NumSpaceNodes for n.
 func NewWorkspace(n int) *Workspace {
 	return &Workspace{
-		n:        n,
-		dist:     make([]graph.Weight, n),
-		parent:   make([]graph.NodeID, n),
-		dstamp:   make([]uint32, n),
-		depoch:   1,
-		hval:     make([]graph.Weight, n),
-		hstamp:   make([]uint32, n),
-		hepoch:   1,
-		ban:      make([]uint32, n),
-		banEpoch: 1,
-		q:        pqueue.NewNodeQueue(n),
+		n:           n,
+		dist:        make([]graph.Weight, n),
+		parent:      make([]graph.NodeID, n),
+		dstamp:      make([]uint32, n),
+		depoch:      1,
+		hval:        make([]graph.Weight, n),
+		hstamp:      make([]uint32, n),
+		hepoch:      1,
+		ban:         make([]uint32, n),
+		banEpoch:    1,
+		q:           pqueue.NewNodeQueue(n),
+		fwdStamp:    make([]uint32, n),
+		revStamp:    make([]uint32, n),
+		memberEpoch: 1,
 	}
 }
 
@@ -98,6 +138,86 @@ func bumpEpoch(epoch *uint32, stamps []uint32) {
 		*epoch = 1
 	}
 }
+
+// beginQuery opens a fresh per-query scope: result arenas rewind and the
+// goal-membership epoch advances. Prepare calls it for the query's main
+// workspace and NewPool for every worker workspace, so any SearchResult or
+// (with reuse) Path handed out by the previous query on this workspace is
+// invalidated here.
+func (ws *Workspace) beginQuery(reuse bool) {
+	ws.reuseResults = reuse
+	ws.nodeArena.reset()
+	ws.lenArena.reset()
+	ws.memberEpoch++
+	if ws.memberEpoch == 0 {
+		for i := range ws.fwdStamp {
+			ws.fwdStamp[i] = 0
+			ws.revStamp[i] = 0
+		}
+		ws.memberEpoch = 1
+	}
+}
+
+// ForwardSpace rebuilds the workspace-cached forward space for a query
+// (goal membership is re-stamped, not reallocated). The returned Space is
+// valid until the workspace's next query.
+func (ws *Workspace) ForwardSpace(g *graph.Graph, sources, targets []graph.NodeID) *Space {
+	ws.fwdSp.initForward(g, sources, targets, ws.fwdStamp, ws.memberEpoch)
+	return &ws.fwdSp
+}
+
+// ReverseSpace is ForwardSpace for the reverse space of IterBound-SPT_I /
+// SPT_P / DA-SPT.
+func (ws *Workspace) ReverseSpace(g *graph.Graph, sources, targets []graph.NodeID) *Space {
+	ws.revSp.initReverse(g, sources, targets, ws.revStamp, ws.memberEpoch)
+	return &ws.revSp
+}
+
+// ResetTree returns the workspace-owned pseudo-tree re-rooted for a new
+// query; its arena storage is retained across queries.
+func (ws *Workspace) ResetTree(root graph.NodeID) *PseudoTree {
+	ws.pt.Reset(root)
+	return &ws.pt
+}
+
+// CachedTreeHeuristic boxes a TreeHeuristic in workspace storage so the
+// interface conversion does not allocate.
+func (ws *Workspace) CachedTreeHeuristic(t *SPT, fallback Heuristic) Heuristic {
+	ws.treeH = TreeHeuristic{T: t, Fallback: fallback}
+	return &ws.treeH
+}
+
+// engine returns the workspace-cached engine with all per-query
+// configuration cleared and the retained scratch (queue, batch buffers,
+// result store) carried over.
+func (ws *Workspace) engine() *engine {
+	e := &ws.eng
+	*e = engine{
+		q: e.q, jobs: e.jobs, results: e.results,
+		cands: e.cands, lbs: e.lbs, pathBuf: e.pathBuf, out: e.out,
+	}
+	e.ws = ws
+	return e
+}
+
+// BeginMarks opens a fresh node-mark scope (epoch-stamped, O(1)). The
+// marks share storage with the search ban marks, so a mark scope must be
+// fully consumed before the next SubspaceSearch on this workspace begins.
+// Exported for internal/deviation's Pascoal shortcut.
+func (ws *Workspace) BeginMarks() { ws.beginBans() }
+
+// Mark marks v in the current mark scope.
+func (ws *Workspace) Mark(v graph.NodeID) { ws.banNode(v) }
+
+// Marked reports whether v is marked in the current mark scope.
+func (ws *Workspace) Marked(v graph.NodeID) bool { return ws.isBanned(v) }
+
+// TakeNodes reserves a zero-length, capacity-n node slice from the
+// workspace's per-query result arena (valid until the next query).
+func (ws *Workspace) TakeNodes(n int) []graph.NodeID { return ws.nodeArena.take(n) }
+
+// TakeLens is TakeNodes for cumulative-length slices.
+func (ws *Workspace) TakeLens(n int) []graph.Weight { return ws.lenArena.take(n) }
 
 // beginSearch starts a fresh distance/heuristic scope.
 func (ws *Workspace) beginSearch() {

@@ -16,6 +16,8 @@
 package deviation
 
 import (
+	"sync"
+
 	"kpj/internal/core"
 	"kpj/internal/fault"
 	"kpj/internal/graph"
@@ -45,6 +47,25 @@ func lessCandidate(a, b candidate) bool {
 // run concurrently on distinct workspaces.
 type resolveFunc func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core.SearchResult, bool)
 
+// runScratch is the per-run loop state, pooled so repeated baseline
+// queries reuse the candidate heap and batch buffers.
+type runScratch struct {
+	cand    *pqueue.Heap[candidate]
+	jobs    []job
+	batch   []core.VertexID
+	pathBuf []graph.NodeID
+}
+
+type job struct {
+	v   core.VertexID
+	res core.SearchResult
+	ok  bool
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &runScratch{cand: pqueue.NewHeap[candidate](lessCandidate)}
+}}
+
 // run is the deviation main loop shared by DA and DA-SPT: resolve is
 // invoked once per subspace, immediately at creation. After each emission
 // the newly created subspaces form an independent batch; with a pool they
@@ -57,7 +78,10 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 	ws *core.Workspace, st *core.Stats, pool *core.Pool,
 	trace core.TraceFunc, spans *obs.Spans, bound *core.Bound) ([]core.Path, error) {
 
-	cand := pqueue.NewHeap[candidate](lessCandidate)
+	sc := scratchPool.Get().(*runScratch)
+	defer scratchPool.Put(sc)
+	cand := sc.cand
+	cand.Reset()
 	var seq uint64
 	push := func(v core.VertexID, res core.SearchResult, ok bool) {
 		if trace != nil {
@@ -73,20 +97,15 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 			cand.Push(candidate{vertex: v, res: res, seq: seq})
 		}
 	}
-	type job struct {
-		v   core.VertexID
-		res core.SearchResult
-		ok  bool
-	}
-	var jobs []job
 	resolveRound := 0
 	resolveBatch := func(vs []core.VertexID) {
 		resolveRound++
 		endResolve := spans.Start(obs.PhaseResolve, resolveRound)
-		jobs = jobs[:0]
+		sc.jobs = sc.jobs[:0]
 		for _, v := range vs {
-			jobs = append(jobs, job{v: v})
+			sc.jobs = append(sc.jobs, job{v: v})
 		}
+		jobs := sc.jobs
 		if pool != nil && len(jobs) > 1 {
 			pool.Run(len(jobs), func(i int, ws *core.Workspace, st *core.Stats) {
 				jobs[i].res, jobs[i].ok = resolve(ws, st, jobs[i].v)
@@ -106,9 +125,9 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 		endResolve(resolved)
 	}
 
-	resolveBatch([]core.VertexID{0})
+	sc.batch = append(sc.batch[:0], 0)
+	resolveBatch(sc.batch)
 	var out []core.Path
-	var batch []core.VertexID
 	for len(out) < k && cand.Len() > 0 {
 		// Mid-resolve fault point, delivered through the bound so the
 		// emitted prefix stays valid (same contract as the core engine).
@@ -122,23 +141,24 @@ func run(sp *core.Space, pt *core.PseudoTree, k int, resolve resolveFunc,
 			return out, err
 		}
 		top := cand.Pop()
-		full := append(pt.PrefixPath(top.vertex), top.res.Suffix...)
-		out = append(out, sp.Materialize(full, top.res.Total))
+		sc.pathBuf = pt.AppendPrefixPath(sc.pathBuf[:0], top.vertex)
+		sc.pathBuf = append(sc.pathBuf, top.res.Suffix...)
+		out = append(out, sp.Materialize(sc.pathBuf, top.res.Total))
 		if trace != nil {
 			trace(core.Event{Kind: core.EventEmit, Vertex: top.vertex, Node: pt.Node(top.vertex), Length: top.res.Total})
 		}
 		if len(out) == k {
 			break
 		}
-		created := pt.InsertSuffix(top.vertex, top.res.Suffix, top.res.Lens)
-		batch = batch[:0]
-		batch = append(batch, top.vertex)
-		for _, v := range created {
+		nsuffix := core.VertexID(len(top.res.Suffix))
+		firstNew := pt.InsertSuffix(top.vertex, top.res.Suffix, top.res.Lens)
+		sc.batch = append(sc.batch[:0], top.vertex)
+		for v := firstNew; v < firstNew+nsuffix; v++ {
 			if pt.Node(v) != sp.Goal {
-				batch = append(batch, v)
+				sc.batch = append(sc.batch, v)
 			}
 		}
-		resolveBatch(batch)
+		resolveBatch(sc.batch)
 		// A resolve that aborted (bound tripped) was dropped from the
 		// candidate heap, so emitting anything further would skip it; stop
 		// immediately. Err consults the shared trip state directly, where
@@ -167,8 +187,8 @@ func DA(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
-	pt := core.NewPseudoTree(sp.Root)
+	sp := ws.ForwardSpace(g, q.Sources, q.Targets)
+	pt := ws.ResetTree(sp.Root)
 	pool := opt.NewPool(sp.NumSpaceNodes())
 	defer pool.Close()
 	resolve := func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core.SearchResult, bool) {
@@ -189,17 +209,17 @@ func DASPT(g *graph.Graph, q core.Query, opt core.Options) ([]core.Path, error) 
 	if err != nil {
 		return nil, err
 	}
-	sp := core.NewForwardSpace(g, q.Sources, q.Targets)
-	rev := core.NewReverseSpace(g, q.Sources, q.Targets)
+	sp := ws.ForwardSpace(g, q.Sources, q.Targets)
+	rev := ws.ReverseSpace(g, q.Sources, q.Targets)
 	endSPT := opt.Spans.Start(obs.PhaseSPTBuild, 0)
-	spt := buildFullSPT(rev, opt.Stats, ws.Bound())
-	endSPT(int64(len(spt.dt)))
-	pt := core.NewPseudoTree(sp.Root)
+	spt := ws.BuildFullSPT(rev, opt.Stats, ws.Bound())
+	endSPT(int64(rev.NumSpaceNodes()))
+	pt := ws.ResetTree(sp.Root)
 	pool := opt.NewPool(sp.NumSpaceNodes())
 	defer pool.Close()
-	h := core.TreeHeuristic{Dist: spt.dt, Settled: spt.settled, Fallback: core.ZeroHeuristic{}}
+	h := ws.CachedTreeHeuristic(spt, core.ZeroHeuristic{})
 	resolve := func(ws *core.Workspace, st *core.Stats, v core.VertexID) (core.SearchResult, bool) {
-		if res, ok := spt.pascoal(sp, pt, v); ok {
+		if res, ok := pascoal(ws, spt, sp, pt, v); ok {
 			if st != nil {
 				st.LowerBounds++ // constant-time candidate
 			}

@@ -2,95 +2,38 @@ package deviation
 
 import (
 	"kpj/internal/core"
-	"kpj/internal/fault"
 	"kpj/internal/graph"
-	"kpj/internal/pqueue"
 )
 
-// fullSPT is the complete shortest path tree toward the virtual target
-// built by DA-SPT at query start: for every space node v, dt[v] is
-// δ(v, virtual target) and next[v] the successor on that shortest path.
-type fullSPT struct {
-	rev     *core.Space
-	dt      []graph.Weight
-	next    []graph.NodeID // successor toward the target; -1 at the root
-	settled []bool
-}
-
-// buildFullSPT runs a complete Dijkstra over the reverse space from the
-// virtual target. Unlike the partial/incremental trees of Section 5, it
-// does not stop early — this is exactly the "dominating cost of
-// constructing the full SPT" the paper attributes to DA-SPT. When bound
-// trips the build stops; the caller's main loop sees the sticky error
-// before any path is emitted, so the incomplete tree is never trusted.
-func buildFullSPT(rev *core.Space, st *core.Stats, bound *core.Bound) *fullSPT {
-	n := rev.NumSpaceNodes()
-	t := &fullSPT{
-		rev:     rev,
-		dt:      make([]graph.Weight, n),
-		next:    make([]graph.NodeID, n),
-		settled: make([]bool, n),
-	}
-	for i := range t.dt {
-		t.dt[i] = graph.Infinity
-		t.next[i] = -1
-	}
-	q := pqueue.NewNodeQueue(n)
-	t.dt[rev.Root] = 0
-	q.PushOrDecrease(int32(rev.Root), 0)
-	for q.Len() > 0 {
-		if ferr := fault.Hit(fault.SPTGrow); ferr != nil {
-			bound.Inject(ferr)
-		}
-		if bound.Step() != nil {
-			break
-		}
-		vi, d := q.Pop()
-		v := graph.NodeID(vi)
-		if t.settled[v] {
-			continue
-		}
-		t.settled[v] = true
-		if st != nil {
-			st.SPTNodes++
-			st.NodesPopped++
-		}
-		rev.Expand(v, func(to graph.NodeID, w graph.Weight) {
-			if nd := d + w; nd < t.dt[to] {
-				t.dt[to] = nd
-				t.next[to] = v
-				q.PushOrDecrease(int32(to), nd)
-			}
-		})
-	}
-	return t
-}
-
-// pascoal attempts the constant-time candidate of Pascoal [24]: among the
-// valid first hops (u, v) of the subspace at vertex u, take the one
-// minimizing prefix + ω(u,v) + δ(v, target); if concatenating the prefix,
-// that edge, and v's tree path to the target yields a simple path, it is
-// the subspace's shortest path. Otherwise ok=false and the caller must run
-// a full search.
-func (t *fullSPT) pascoal(sp *core.Space, pt *core.PseudoTree, u core.VertexID) (core.SearchResult, bool) {
-	onPrefix := map[graph.NodeID]bool{}
-	pt.PrefixNodes(u, func(v graph.NodeID) { onPrefix[v] = true })
-	excluded := pt.Excluded(u)
+// pascoal attempts the constant-time candidate of Pascoal [24] against the
+// full shortest path tree toward the virtual target (spt, built by
+// core.Workspace.BuildFullSPT over the reverse space, so Parent points
+// toward the target): among the valid first hops (u, v) of the subspace at
+// vertex u, take the one minimizing prefix + ω(u,v) + δ(v, target); if
+// concatenating the prefix, that edge, and v's tree path to the target
+// yields a simple path, it is the subspace's shortest path. Otherwise
+// ok=false and the caller must run a full search.
+//
+// Simplicity is checked with the workspace's epoch-stamped marks instead
+// of per-call maps; the scope is consumed before any SubspaceSearch on ws
+// begins, so sharing the ban storage is safe. The result slices live in
+// ws's per-query arenas.
+func pascoal(ws *core.Workspace, spt *core.SPT, sp *core.Space, pt *core.PseudoTree, u core.VertexID) (core.SearchResult, bool) {
+	ws.BeginMarks()
+	pt.PrefixNodes(u, ws.Mark)
 
 	best := graph.NodeID(-1)
 	bestW := graph.Infinity
 	var bestEdge graph.Weight
 	prefixLen := pt.PrefixLen(u)
 	sp.Expand(pt.Node(u), func(to graph.NodeID, w graph.Weight) {
-		if onPrefix[to] || t.dt[to] >= graph.Infinity {
+		if ws.Marked(to) || spt.Dist(to) >= graph.Infinity {
 			return
 		}
-		for _, x := range excluded {
-			if x == to {
-				return
-			}
+		if pt.ExcludedHas(u, to) {
+			return
 		}
-		if est := prefixLen + w + t.dt[to]; est < bestW {
+		if est := prefixLen + w + spt.Dist(to); est < bestW {
 			best, bestW, bestEdge = to, est, w
 		}
 	})
@@ -99,17 +42,27 @@ func (t *fullSPT) pascoal(sp *core.Space, pt *core.PseudoTree, u core.VertexID) 
 	}
 
 	// Walk best's tree path to the target, checking simplicity against the
-	// prefix (the tree path itself is simple by construction).
-	res := core.SearchResult{Total: bestW}
-	length := prefixLen + bestEdge
-	seen := map[graph.NodeID]bool{}
-	for v := best; v >= 0; v = t.next[v] {
-		if onPrefix[v] || seen[v] {
+	// prefix (the tree path itself is simple by construction, so marking
+	// as we go also guards against a corrupted tree at no extra cost).
+	n := 0
+	for v := best; v >= 0; v = spt.Parent(v) {
+		if ws.Marked(v) {
 			return core.SearchResult{}, false // concatenation not simple: fall back
 		}
-		seen[v] = true
-		res.Suffix = append(res.Suffix, v)
-		res.Lens = append(res.Lens, length+(t.dt[best]-t.dt[v]))
+		ws.Mark(v)
+		n++
+	}
+	res := core.SearchResult{
+		Suffix: ws.TakeNodes(n)[:n],
+		Lens:   ws.TakeLens(n)[:n],
+		Total:  bestW,
+	}
+	length := prefixLen + bestEdge
+	i := 0
+	for v := best; v >= 0; v = spt.Parent(v) {
+		res.Suffix[i] = v
+		res.Lens[i] = length + (spt.Dist(best) - spt.Dist(v))
+		i++
 	}
 	return res, true
 }

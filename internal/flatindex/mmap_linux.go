@@ -1,0 +1,41 @@
+//go:build linux
+
+package flatindex
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy path in Open.
+const mmapSupported = true
+
+// mmapFile maps path read-only and returns the data plus an unmap
+// function. The mapping is private (copy-on-write never triggers: the
+// loader only reads) so concurrent writers to the file cannot corrupt a
+// running server's view beyond the pages it has not yet touched — the
+// operational rule remains "never rewrite a flat file in place".
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size < headerSize+4 {
+		return nil, nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrFormat, size)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("%w: %d bytes does not fit in memory", ErrFormat, size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flatindex: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

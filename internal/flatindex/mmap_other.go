@@ -1,0 +1,12 @@
+//go:build !linux
+
+package flatindex
+
+// mmapSupported gates the zero-copy path in Open: on platforms without a
+// wired-up mmap, Open transparently falls back to the fully verified
+// read-to-memory loader.
+const mmapSupported = false
+
+func mmapFile(path string) ([]byte, func() error, error) {
+	panic("flatindex: mmapFile called on unsupported platform")
+}

@@ -68,6 +68,7 @@ type Graph struct {
 	outAdj  []Edge
 	inHead  []int32
 	inAdj   []Edge
+	maxW    Weight // heaviest edge weight (0 for an edgeless graph)
 
 	categories map[string][]NodeID
 	catNames   []string // sorted, for deterministic iteration
@@ -118,6 +119,11 @@ func (g *Graph) OutDegree(v NodeID) int {
 func (g *Graph) InDegree(v NodeID) int {
 	return int(g.inHead[v+1] - g.inHead[v])
 }
+
+// MaxEdgeWeight returns the heaviest edge weight in the graph (0 when there
+// are no edges). Searches use it to decide whether the integer-weight bucket
+// queue is applicable (see pqueue.MaxBucketEdgeWeight).
+func (g *Graph) MaxEdgeWeight() Weight { return g.maxW }
 
 // HasEdge reports whether the directed edge (u, v) exists and, if so,
 // returns its weight.
@@ -268,6 +274,11 @@ func (b *Builder) Build() (*Graph, error) {
 	g := &Graph{n: b.n, m: len(b.tails)}
 	g.outHead, g.outAdj = buildCSR(b.n, b.tails, b.heads, b.ws)
 	g.inHead, g.inAdj = buildCSR(b.n, b.heads, b.tails, b.ws)
+	for _, w := range b.ws {
+		if w > g.maxW {
+			g.maxW = w
+		}
+	}
 	return g, nil
 }
 

@@ -109,10 +109,14 @@ func NewNodeQueue(n int) *NodeQueue {
 
 // Grow extends the id space to at least n nodes, preserving contents.
 func (q *NodeQueue) Grow(n int) {
-	for len(q.pos) < n {
-		q.pos = append(q.pos, 0)
-		q.stamp = append(q.stamp, 0)
+	if len(q.pos) >= n {
+		return
 	}
+	pos := make([]int32, n)
+	copy(pos, q.pos)
+	stamp := make([]uint32, n)
+	copy(stamp, q.stamp)
+	q.pos, q.stamp = pos, stamp
 }
 
 // Len returns the number of queued nodes.

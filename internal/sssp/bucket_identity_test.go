@@ -1,0 +1,78 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpj/internal/graph"
+	"kpj/internal/pqueue"
+	"kpj/internal/testgraphs"
+)
+
+// cloneWithHeavyTail rebuilds g with two extra nodes joined by a single
+// edge heavier than the bucket-queue threshold. The extra component is
+// unreachable from (and cannot reach) the original nodes, so shortest
+// distances and canonical parents over [0, g.NumNodes()) are untouched —
+// but MaxEdgeWeight now exceeds pqueue.MaxBucketEdgeWeight, forcing
+// DijkstraOffsetsContext onto the binary-heap code path.
+func cloneWithHeavyTail(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	n := g.NumNodes()
+	b := graph.NewBuilder(n + 2)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for _, e := range g.Out(v) {
+			b.AddEdge(v, e.To, e.W)
+		}
+	}
+	b.AddEdge(graph.NodeID(n), graph.NodeID(n+1), graph.Weight(pqueue.MaxBucketEdgeWeight)+1)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestQueueChoiceBitIdentical is the white-box counterpart of the oracle
+// suites' cross-algorithm checks: the bucket (radix) queue and the binary
+// heap must produce the exact same shortest-path tree — distances AND
+// canonical min-id parents — on the same input, in both directions, for
+// single and multi sources. Any divergence means the tie-breaking rule
+// fell out of sync between the two loops.
+func TestQueueChoiceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(80)
+		// Tiny weight range maximizes equal-length ties, stressing the
+		// canonical parent rule rather than the happy path.
+		g := testgraphs.Random(rng, n, 4, 4, trial%2 == 0)
+		if g.MaxEdgeWeight() > pqueue.MaxBucketEdgeWeight {
+			t.Fatalf("trial %d: test graph unexpectedly above bucket threshold", trial)
+		}
+		heavy := cloneWithHeavyTail(t, g)
+		if heavy.MaxEdgeWeight() <= pqueue.MaxBucketEdgeWeight {
+			t.Fatalf("trial %d: heavy clone did not cross the bucket threshold", trial)
+		}
+
+		nsrc := 1 + rng.Intn(3)
+		sources := make([]graph.NodeID, nsrc)
+		offsets := make([]graph.Weight, nsrc)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.Intn(n))
+			offsets[i] = graph.Weight(rng.Intn(3))
+		}
+		for _, dir := range []graph.Direction{graph.Forward, graph.Backward} {
+			bucket := DijkstraOffsets(g, dir, sources, offsets)
+			heap := DijkstraOffsets(heavy, dir, sources, offsets)
+			for v := 0; v < n; v++ {
+				if bucket.Dist[v] != heap.Dist[v] {
+					t.Fatalf("trial %d dir %v: Dist[%d] bucket=%d heap=%d",
+						trial, dir, v, bucket.Dist[v], heap.Dist[v])
+				}
+				if bucket.Parent[v] != heap.Parent[v] {
+					t.Fatalf("trial %d dir %v: Parent[%d] bucket=%d heap=%d (tie-break divergence)",
+						trial, dir, v, bucket.Parent[v], heap.Parent[v])
+				}
+			}
+		}
+	}
+}

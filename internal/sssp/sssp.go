@@ -116,17 +116,54 @@ func DijkstraOffsetsContext(ctx context.Context, g *graph.Graph, dir graph.Direc
 		t.Dist[i] = graph.Infinity
 		t.Parent[i] = -1
 	}
-	q := pqueue.NewNodeQueue(n)
 	for i, s := range sources {
 		if s < 0 || int(s) >= n {
 			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", s, n))
 		}
 		if offsets[i] < t.Dist[s] {
 			t.Dist[s] = offsets[i]
-			q.PushOrDecrease(s, offsets[i])
 		}
 	}
 	countdown := pollEvery
+	// Both loops below keep the tree canonical under equal-length ties:
+	// Parent[v] is the minimum-id optimal predecessor (every optimal
+	// predecessor relaxes (u, v) exactly once when popped non-stale, so the
+	// running min is queue-order independent). That makes the produced Tree
+	// bit-identical whichever queue runs, which the oracle and chaos suites
+	// assert.
+	if g.MaxEdgeWeight() <= pqueue.MaxBucketEdgeWeight {
+		// Integer road weights: monotone bucket (radix) queue with lazy
+		// insertion. Duplicates are skipped by the distance check.
+		q := pqueue.NewBucketQueue()
+		for _, s := range sources {
+			q.Push(s, t.Dist[s])
+		}
+		for q.Len() > 0 {
+			if err := canceled(ctx, &countdown); err != nil {
+				return t, err
+			}
+			v, d := q.Pop()
+			if d > t.Dist[v] {
+				continue // stale lazy-insertion duplicate
+			}
+			for _, e := range g.Edges(dir, v) {
+				nd := d + e.W
+				if nd < t.Dist[e.To] {
+					t.Dist[e.To] = nd
+					t.Parent[e.To] = v
+					q.Push(e.To, nd)
+				} else if nd == t.Dist[e.To] && v < t.Parent[e.To] {
+					t.Parent[e.To] = v
+				}
+			}
+		}
+		return t, nil
+	}
+	// Unfriendly weight range: indexed binary heap with decrease-key.
+	q := pqueue.NewNodeQueue(n)
+	for _, s := range sources {
+		q.PushOrDecrease(s, t.Dist[s])
+	}
 	for q.Len() > 0 {
 		if err := canceled(ctx, &countdown); err != nil {
 			return t, err
@@ -136,10 +173,13 @@ func DijkstraOffsetsContext(ctx context.Context, g *graph.Graph, dir graph.Direc
 			continue // stale entry (NodeQueue avoids these, but be safe)
 		}
 		for _, e := range g.Edges(dir, v) {
-			if nd := d + e.W; nd < t.Dist[e.To] {
+			nd := d + e.W
+			if nd < t.Dist[e.To] {
 				t.Dist[e.To] = nd
 				t.Parent[e.To] = v
 				q.PushOrDecrease(e.To, nd)
+			} else if nd == t.Dist[e.To] && v < t.Parent[e.To] {
+				t.Parent[e.To] = v
 			}
 		}
 	}

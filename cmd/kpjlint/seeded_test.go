@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kpj/internal/analysis"
+	"kpj/internal/analysis/allocfree"
+	"kpj/internal/analysis/loadpkg"
+	"kpj/internal/analysis/vetdriver"
+)
+
+// TestSeededAllocationDetected is the end-to-end acceptance check for the
+// allocation-freedom proof: it copies the real internal/pqueue package
+// into a scratch module, seeds one heap allocation into the body of a
+// //kpjlint:noalloc root, and asserts the analyzer reports the seeded
+// site naming that root — while the unmutated copy stays clean. Mutating
+// a scratch copy rather than the tree keeps the test hermetic.
+func TestSeededAllocationDetected(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "internal", "pqueue", "pqueue.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "func (h *Heap[T]) Push(x T) {"
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("internal/pqueue no longer contains %q; update the seed anchor", anchor)
+	}
+	seeded := strings.Replace(string(src), anchor,
+		anchor+"\n\t_ = make([]T, 1) // seeded allocation", 1)
+
+	run := func(t *testing.T, source string) []analysis.Diagnostic {
+		t.Helper()
+		root := t.TempDir()
+		dir := filepath.Join(root, "internal", "pqueue")
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module kpj\n\ngo 1.22\n"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "pqueue.go"), []byte(source), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		loader, err := loadpkg.NewLoader(root, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range loader.Metas {
+			if m.ImportPath != "kpj/internal/pqueue" {
+				continue
+			}
+			pkg, err := loader.Load(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, _ := vetdriver.Analyze([]*analysis.Analyzer{allocfree.Analyzer},
+				loader.Fset, pkg.Files, pkg.Pkg, pkg.Info, nil)
+			return diags
+		}
+		t.Fatal("scratch module did not list kpj/internal/pqueue")
+		return nil
+	}
+
+	if diags := run(t, string(src)); len(diags) != 0 {
+		t.Fatalf("unmutated copy of internal/pqueue is not clean: %v", diags)
+	}
+
+	diags := run(t, seeded)
+	if len(diags) != 1 {
+		t.Fatalf("seeded copy produced %d diagnostics, want exactly the seeded one: %v", len(diags), diags)
+	}
+	want := regexp.MustCompile(`^make reachable from //kpjlint:noalloc root \(\*pqueue\.Heap\[T\]\)\.Push`)
+	if !want.MatchString(diags[0].Message) {
+		t.Errorf("diagnostic does not name the site and root: %q", diags[0].Message)
+	}
+}

@@ -1,0 +1,891 @@
+// Package allocfree defines the kpjlint analyzer that turns the
+// "steady-state queries are allocation-free" budget (DESIGN.md §13) from
+// a benchmark observation into a machine-checked whole-program claim:
+// functions whose doc comment carries //kpjlint:noalloc are roots, and
+// no heap-allocation site may be reachable from a root through
+// statically resolvable calls — across package boundaries, via the
+// facts layer (analysis.Facts) — unless the site carries a
+// //kpjlint:alloc(reason) waiver.
+//
+// Allocation sites are approximated from syntax plus types, erring
+// conservative where the real escape analysis would need flow
+// information: make/new, &T{...} and slice/map composite literals,
+// append (the backing array may grow), map assignment, interface boxing
+// of non-pointer non-constant values (explicit conversions, call
+// arguments, assignments, returns), closures that capture variables,
+// string concatenation and string↔[]byte/[]rune conversions, go
+// statements, and calls whose allocation behavior the proof cannot see:
+// calls into packages without facts (the standard library, except the
+// pure math, math/bits, and sync/atomic packages) and calls through
+// function values.
+//
+// Two deliberate soft spots, both documented here because the analyzer
+// is cross-validated against the real compiler by the `kpjlint -escapes`
+// gate (ESCAPES_budget.txt) rather than trusted alone:
+//
+//   - Dynamic dispatch through an interface is not followed: the hot
+//     path's Heuristic/Pruner implementations are annotated as their own
+//     //kpjlint:noalloc roots, which covers the bodies the dispatch can
+//     reach, and interface method calls themselves do not allocate.
+//   - A capture-free closure (or one waived at its creation site) is not
+//     re-entered; its body is checked only if it is also reachable as a
+//     declared function.
+//
+// The waiver directive is //kpjlint:alloc(reason): on the allocation
+// site's line (or the line above) it waives that site; in a function's
+// doc comment it waives the whole function — the function is treated as
+// a deliberate allocation subtree and its calls are not followed. The
+// reason is mandatory; the directive analyzer flags an empty one.
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"kpj/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "reports heap-allocation sites reachable from //kpjlint:noalloc roots (cross-package, via exported facts) without a //kpjlint:alloc(reason) waiver",
+	Run:  run,
+}
+
+// pkgFacts is the allocfree facts payload: qualified function name →
+// summary, flattened over the package's module-internal dependency
+// closure so dependents need only direct-import facts.
+type pkgFacts struct {
+	Funcs map[string]*funcFacts `json:"funcs"`
+}
+
+// funcFacts summarizes one function for cross-package reachability.
+type funcFacts struct {
+	// Noalloc records a //kpjlint:noalloc root (checked in its own
+	// package; exported so diagnostics can name foreign roots).
+	Noalloc bool `json:"noalloc,omitempty"`
+	// Allocs lists the function's own unwaived allocation sites.
+	Allocs []factSite `json:"allocs,omitempty"`
+	// Calls lists qualified names of statically resolved callees with
+	// facts coverage, sorted and deduplicated.
+	Calls []string `json:"calls,omitempty"`
+}
+
+// factSite is a serializable allocation site: position (basename only,
+// so facts are machine-independent) and a short description.
+type factSite struct {
+	Pos  string `json:"pos"`
+	What string `json:"what"`
+}
+
+// funcInfo is the local (AST-backed) view of one declared function.
+type funcInfo struct {
+	qname string
+	decl  *ast.FuncDecl
+	facts *funcFacts
+	sites []localSite // unwaived, source order
+	calls []callEdge  // facts-covered static calls, source order
+}
+
+type localSite struct {
+	pos  token.Pos
+	what string
+}
+
+type callEdge struct {
+	qname string
+	pos   token.Pos
+}
+
+// allowedPkgs are the non-module packages whose functions are known not
+// to allocate: kept deliberately tiny; anything else without facts is an
+// allocation site until proven otherwise.
+var allowedPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+func run(pass *analysis.Pass) error {
+	locals := scanPackage(pass)
+
+	// Merge the flattened facts of every fact-bearing direct import,
+	// then overlay this package's own functions, and re-export the
+	// union — the flattening contract of the facts layer.
+	global := map[string]*funcFacts{}
+	depPaths := make([]string, 0, len(pass.DepFacts))
+	for path := range pass.DepFacts {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		var pf pkgFacts
+		if raw := pass.ImportFacts(path); raw != nil {
+			if err := analysis.UnmarshalFacts(raw, &pf); err != nil {
+				return fmt.Errorf("allocfree: facts of %s: %w", path, err)
+			}
+		}
+		for q, ff := range pf.Funcs {
+			global[q] = ff
+		}
+	}
+	for _, fi := range locals {
+		global[fi.qname] = fi.facts
+	}
+	if err := pass.ExportPackageFacts(pkgFacts{Funcs: global}); err != nil {
+		return err
+	}
+
+	mayAlloc, witness := propagate(global)
+
+	localByName := make(map[string]*funcInfo, len(locals))
+	for _, fi := range locals {
+		localByName[fi.qname] = fi
+	}
+
+	// Walk from each local root in source order; report every reachable
+	// unwaived site once (the first root to reach it claims it).
+	reported := map[token.Pos]bool{}
+	for _, root := range locals {
+		if !root.facts.Noalloc {
+			continue
+		}
+		visited := map[string]bool{}
+		var visit func(fi *funcInfo)
+		visit = func(fi *funcInfo) {
+			if visited[fi.qname] {
+				return
+			}
+			visited[fi.qname] = true
+			for _, s := range fi.sites {
+				if reported[s.pos] {
+					continue
+				}
+				reported[s.pos] = true
+				pass.Reportf(s.pos, "%s reachable from //kpjlint:noalloc root %s; annotate //kpjlint:alloc(reason) if deliberate",
+					s.what, shortName(root.qname))
+			}
+			for _, c := range fi.calls {
+				if callee := localByName[c.qname]; callee != nil {
+					visit(callee)
+					continue
+				}
+				ff, ok := global[c.qname]
+				switch {
+				case !ok:
+					if !reported[c.pos] {
+						reported[c.pos] = true
+						pass.Reportf(c.pos, "call to %s, which has no allocation facts, reachable from //kpjlint:noalloc root %s",
+							shortName(c.qname), shortName(root.qname))
+					}
+				case mayAlloc[c.qname]:
+					if !reported[c.pos] {
+						reported[c.pos] = true
+						pass.Reportf(c.pos, "call to %s, which allocates (%s), reachable from //kpjlint:noalloc root %s",
+							shortName(c.qname), witnessChain(c.qname, witness, global), shortName(root.qname))
+					}
+				default:
+					_ = ff // transitively allocation-free
+				}
+			}
+		}
+		visit(root)
+	}
+	return nil
+}
+
+// propagate computes the transitive may-allocate relation over the
+// global facts graph: a function may allocate if it has an own site or
+// calls (transitively) one that does. witness records, for functions
+// with no own site, the callee through which the allocation is reached,
+// for diagnostic chains.
+func propagate(global map[string]*funcFacts) (mayAlloc map[string]bool, witness map[string]string) {
+	mayAlloc = make(map[string]bool)
+	witness = make(map[string]string)
+	rev := map[string][]string{}
+	var queue []string
+	for q, ff := range global {
+		if len(ff.Allocs) > 0 {
+			mayAlloc[q] = true
+			queue = append(queue, q)
+		}
+		for _, c := range ff.Calls {
+			rev[c] = append(rev[c], q)
+		}
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		callers := rev[cur]
+		sort.Strings(callers)
+		for _, caller := range callers {
+			if !mayAlloc[caller] {
+				mayAlloc[caller] = true
+				witness[caller] = cur
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return mayAlloc, witness
+}
+
+// witnessChain renders the call chain from q down to a concrete
+// allocation site, e.g. "via grow: bucket.go:71:12: make".
+func witnessChain(q string, witness map[string]string, global map[string]*funcFacts) string {
+	var hops []string
+	for {
+		ff := global[q]
+		if ff != nil && len(ff.Allocs) > 0 {
+			s := ff.Allocs[0]
+			hops = append(hops, s.Pos+": "+s.What)
+			break
+		}
+		next, ok := witness[q]
+		if !ok {
+			hops = append(hops, "allocation site unknown")
+			break
+		}
+		hops = append(hops, "via "+shortName(next))
+		q = next
+	}
+	return strings.Join(hops, ", ")
+}
+
+// shortName strips package path directories from a qualified name so
+// diagnostics read "(*pqueue.Heap).Push" instead of the full path form.
+func shortName(q string) string {
+	// Qualified names look like "path/to/pkg.Func" or
+	// "(path/to/pkg.Recv).Method" / "(*path/to/pkg.Recv).Method".
+	trim := func(s string) string {
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if i := strings.Index(q, ")."); i > 0 && (strings.HasPrefix(q, "(") || strings.HasPrefix(q, "(*")) {
+		recv := q[:i+1]
+		star := ""
+		inner := strings.TrimPrefix(strings.TrimPrefix(recv, "("), "*")
+		if strings.HasPrefix(recv, "(*") {
+			star = "*"
+		}
+		return "(" + star + trim(strings.TrimSuffix(inner, ")")) + ")" + q[i+1:]
+	}
+	return trim(q)
+}
+
+// scanPackage builds the local view: every declared function's waived
+// allocation sites removed, static calls resolved, roots identified.
+func scanPackage(pass *analysis.Pass) []*funcInfo {
+	var out []*funcInfo
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{
+				qname: qualifiedName(fn),
+				decl:  fd,
+				facts: &funcFacts{Noalloc: docDirective(fd, analysis.Noalloc)},
+			}
+			// A doc-comment alloc waiver declares the whole function a
+			// deliberate allocation subtree: no sites, no followed calls.
+			if !docDirective(fd, analysis.Alloc) {
+				s := &scanner{pass: pass, fd: fd}
+				s.block(fd.Body)
+				fi.sites, fi.calls = s.sites, s.calls
+			}
+			for _, site := range fi.sites {
+				fi.facts.Allocs = append(fi.facts.Allocs, factSite{Pos: shortPos(pass.Fset, site.pos), What: site.what})
+			}
+			callSet := map[string]bool{}
+			for _, c := range fi.calls {
+				callSet[c.qname] = true
+			}
+			for q := range callSet {
+				fi.facts.Calls = append(fi.facts.Calls, q)
+			}
+			sort.Strings(fi.facts.Calls)
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// docDirective reports whether fd's doc comment carries the directive.
+func docDirective(fd *ast.FuncDecl, kind string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if d, ok := analysis.ParseDirective(c.Text); ok && !d.Block && !d.Malformed && d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// qualifiedName names a function across packages: Origin() folds generic
+// instantiations back onto their declaration, so call-site and
+// definition names agree.
+func qualifiedName(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// scanner walks one function body collecting allocation sites and call
+// edges, honoring line-level //kpjlint:alloc waivers.
+type scanner struct {
+	pass  *analysis.Pass
+	fd    *ast.FuncDecl
+	sites []localSite
+	calls []callEdge
+}
+
+func (s *scanner) waived(n ast.Node) bool {
+	return s.pass.Annotated(n, analysis.Alloc)
+}
+
+func (s *scanner) site(n ast.Node, what string) {
+	if !s.waived(n) {
+		s.sites = append(s.sites, localSite{pos: n.Pos(), what: what})
+	}
+}
+
+// covered reports whether callee's package participates in the facts
+// graph: the package under analysis itself, or a direct import the
+// driver supplied facts for.
+func (s *scanner) covered(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pkg == s.pass.Pkg {
+		return true
+	}
+	_, ok := s.pass.DepFacts[pkg.Path()]
+	return ok
+}
+
+func (s *scanner) block(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		s.stmt(stmt)
+	}
+}
+
+// stmt dispatches statements that need context (assignments, returns,
+// go statements); everything else funnels into expr walking.
+func (s *scanner) stmt(n ast.Stmt) {
+	switch n := n.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.block(n)
+	case *ast.ExprStmt:
+		s.expr(n.X)
+	case *ast.AssignStmt:
+		s.assign(n)
+	case *ast.ReturnStmt:
+		s.ret(n)
+	case *ast.GoStmt:
+		s.site(n, "go statement (heap-allocated goroutine + closure)")
+		s.call(n.Call)
+	case *ast.DeferStmt:
+		s.call(n.Call)
+	case *ast.IfStmt:
+		s.stmt(n.Init)
+		s.expr(n.Cond)
+		s.block(n.Body)
+		s.stmt(n.Else)
+	case *ast.ForStmt:
+		s.stmt(n.Init)
+		s.expr(n.Cond)
+		s.stmt(n.Post)
+		s.block(n.Body)
+	case *ast.RangeStmt:
+		s.expr(n.X)
+		s.block(n.Body)
+	case *ast.SwitchStmt:
+		s.stmt(n.Init)
+		s.expr(n.Tag)
+		s.block(n.Body)
+	case *ast.TypeSwitchStmt:
+		s.stmt(n.Init)
+		s.stmt(n.Assign)
+		s.block(n.Body)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			s.expr(e)
+		}
+		for _, st := range n.Body {
+			s.stmt(st)
+		}
+	case *ast.SelectStmt:
+		s.block(n.Body)
+	case *ast.CommClause:
+		s.stmt(n.Comm)
+		for _, st := range n.Body {
+			s.stmt(st)
+		}
+	case *ast.SendStmt:
+		s.expr(n.Chan)
+		s.boxed(n.Value, s.typeOf(n.Chan)) // chan of interface boxes
+		s.expr(n.Value)
+	case *ast.IncDecStmt:
+		if idx, ok := n.X.(*ast.IndexExpr); ok && s.isMapIndex(idx) {
+			s.site(n, "map assignment")
+		}
+		s.expr(n.X)
+	case *ast.DeclStmt:
+		s.declStmt(n)
+	case *ast.LabeledStmt:
+		s.stmt(n.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Conservative default: walk any contained expressions.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if e, ok := c.(ast.Expr); ok && c != n {
+				s.expr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// declStmt handles `var x I = v` interface boxing inside bodies.
+func (s *scanner) declStmt(n *ast.DeclStmt) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, val := range vs.Values {
+			if i < len(vs.Names) {
+				if obj := s.pass.TypesInfo.Defs[vs.Names[i]]; obj != nil {
+					s.boxed(val, obj.Type())
+				}
+			}
+			s.expr(val)
+		}
+	}
+}
+
+func (s *scanner) assign(n *ast.AssignStmt) {
+	for _, lhs := range n.Lhs {
+		if idx, ok := lhs.(*ast.IndexExpr); ok && s.isMapIndex(idx) {
+			s.site(lhs, "map assignment")
+		}
+		if _, isIdent := lhs.(*ast.Ident); !isIdent || n.Tok != token.DEFINE {
+			s.expr(lhs)
+		}
+	}
+	// Pairwise interface boxing (skipped for tuple-producing RHS).
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, rhs := range n.Rhs {
+			var lt types.Type
+			if id, ok := n.Lhs[i].(*ast.Ident); ok && n.Tok == token.DEFINE {
+				if obj := s.pass.TypesInfo.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			} else {
+				lt = s.typeOf(n.Lhs[i])
+			}
+			s.boxed(rhs, lt)
+		}
+	}
+	for _, rhs := range n.Rhs {
+		s.expr(rhs)
+	}
+	// String concatenation via +=.
+	if n.Tok == token.ADD_ASSIGN && isString(s.typeOf(n.Lhs[0])) {
+		s.site(n, "string concatenation")
+	}
+}
+
+func (s *scanner) ret(n *ast.ReturnStmt) {
+	fn, _ := s.pass.TypesInfo.Defs[s.fd.Name].(*types.Func)
+	if fn != nil {
+		if res := fn.Type().(*types.Signature).Results(); res.Len() == len(n.Results) {
+			for i, e := range n.Results {
+				s.boxed(e, res.At(i).Type())
+			}
+		}
+	}
+	for _, e := range n.Results {
+		s.expr(e)
+	}
+}
+
+func (s *scanner) expr(n ast.Expr) {
+	switch n := n.(type) {
+	case nil:
+	case *ast.CallExpr:
+		s.call(n)
+	case *ast.FuncLit:
+		s.funcLit(n, false)
+	case *ast.CompositeLit:
+		s.composite(n, false)
+	case *ast.UnaryExpr:
+		if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+			s.composite(cl, true)
+			return
+		}
+		s.expr(n.X)
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(s.typeOf(n)) && !s.isConst(n) {
+			s.site(n, "string concatenation")
+		}
+		s.expr(n.X)
+		s.expr(n.Y)
+	case *ast.ParenExpr:
+		s.expr(n.X)
+	case *ast.StarExpr:
+		s.expr(n.X)
+	case *ast.SelectorExpr:
+		s.expr(n.X)
+	case *ast.IndexExpr:
+		s.expr(n.X)
+		s.expr(n.Index)
+	case *ast.IndexListExpr:
+		s.expr(n.X)
+	case *ast.SliceExpr:
+		s.expr(n.X)
+		s.expr(n.Low)
+		s.expr(n.High)
+		s.expr(n.Max)
+	case *ast.TypeAssertExpr:
+		s.expr(n.X)
+	case *ast.KeyValueExpr:
+		s.expr(n.Key)
+		s.expr(n.Value)
+	case *ast.Ident, *ast.BasicLit, *ast.ArrayType, *ast.MapType,
+		*ast.ChanType, *ast.FuncType, *ast.StructType, *ast.InterfaceType:
+	default:
+	}
+}
+
+// funcLit flags closures that capture enclosing locals. inCall marks an
+// immediately-invoked literal (func(){...}()), which runs inline and is
+// scanned like ordinary code instead of being treated as a value.
+func (s *scanner) funcLit(n *ast.FuncLit, inCall bool) {
+	if inCall {
+		s.block(n.Body)
+		return
+	}
+	if s.captures(n) {
+		s.site(n, "closure captures enclosing variables")
+	}
+	// The literal's body runs only through a dynamic call; it is not
+	// re-entered here (see the package comment's soft spots).
+}
+
+// captures reports whether the literal references any variable declared
+// in the enclosing function (free variables force a heap closure).
+func (s *scanner) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj, ok := s.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Free iff declared outside the literal but inside some function
+		// (package-level vars are not captured).
+		if obj.Pos() < lit.Pos() && obj.Parent() != nil && obj.Parent() != types.Universe &&
+			obj.Pkg() != nil && !isPackageScope(obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isPackageScope(v *types.Var) bool {
+	return v.Parent() == v.Pkg().Scope()
+}
+
+func (s *scanner) composite(n *ast.CompositeLit, addressed bool) {
+	t := s.typeOf(n)
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		s.site(n, "slice literal")
+	case *types.Map:
+		s.site(n, "map literal")
+	default:
+		if addressed {
+			s.site(n, "&composite literal (may escape)")
+		}
+	}
+	for _, e := range n.Elts {
+		s.expr(e)
+	}
+}
+
+func (s *scanner) call(n *ast.CallExpr) {
+	for _, a := range n.Args {
+		s.expr(a)
+	}
+	// Immediately invoked literal: inline code, not a closure value.
+	if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+		s.funcLit(lit, true)
+		return
+	}
+	// Type conversion?
+	if tv, ok := s.pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+		s.conversion(n, tv.Type)
+		return
+	}
+	// Builtin?
+	if name, ok := s.builtin(n.Fun); ok {
+		switch name {
+		case "make":
+			s.site(n, "make")
+		case "new":
+			s.site(n, "new")
+		case "append":
+			s.site(n, "append (backing array may grow)")
+		}
+		// len/cap/copy/delete/clear/min/max/real/imag/complex are
+		// allocation-free; panic is a crash path and print/println are
+		// debug-only — none are steady-state allocations.
+		return
+	}
+	// Statically resolved function or method?
+	if fn := s.callee(n); fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			// Dynamic dispatch: not followed (see package comment); the
+			// call itself does not allocate. Arguments still box below.
+			s.boxArgs(n, sig)
+			return
+		}
+		if sig != nil {
+			s.boxArgs(n, sig)
+		}
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return // error.Error, unsafe builtins, etc.
+		}
+		if s.covered(pkg) {
+			if !s.waived(n) {
+				s.calls = append(s.calls, callEdge{qname: qualifiedName(fn), pos: n.Pos()})
+			}
+			return
+		}
+		if allowedPkgs[pkg.Path()] {
+			return
+		}
+		s.site(n, fmt.Sprintf("call to %s (no allocation facts; outside the proof)", shortName(qualifiedName(fn))))
+		return
+	}
+	// Function value, method value, or other dynamic call.
+	s.site(n, "call through function value (unknown target)")
+	s.expr(n.Fun)
+}
+
+// conversion classifies a type conversion: string↔bytes/runes copies and
+// interface boxing allocate; numeric and pointer-shaped ones do not.
+func (s *scanner) conversion(n *ast.CallExpr, target types.Type) {
+	if len(n.Args) != 1 {
+		return
+	}
+	arg := n.Args[0]
+	src := s.typeOf(arg)
+	switch {
+	case isString(target) && (isByteSlice(src) || isRuneSlice(src)):
+		s.site(n, "conversion to string (copies)")
+	case isString(src) && (isByteSlice(target) || isRuneSlice(target)):
+		s.site(n, "conversion from string (copies)")
+	case types.IsInterface(target):
+		s.boxed(arg, target)
+	}
+}
+
+// boxArgs flags non-pointer, non-constant concrete arguments passed in
+// interface-typed parameters (including variadic ...interface{}).
+func (s *scanner) boxArgs(n *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if n.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		s.boxed(arg, pt)
+	}
+}
+
+// boxed flags expr if storing it into a target of interface type heap-
+// allocates: concrete, non-constant, and not pointer-shaped/zero-size.
+func (s *scanner) boxed(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	src := s.typeOf(expr)
+	if src == nil || types.IsInterface(src) || s.isConst(expr) {
+		return
+	}
+	if boxingFree(src) {
+		return
+	}
+	s.site(expr, fmt.Sprintf("interface boxing of %s", src))
+}
+
+// boxingFree reports whether a value of type t fits an interface's data
+// word without allocation: pointer-shaped types and zero-size values.
+func boxingFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !zeroSize(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || zeroSize(u.Elem())
+	}
+	return false
+}
+
+func zeroSize(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !zeroSize(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || zeroSize(u.Elem())
+	}
+	return false
+}
+
+func (s *scanner) typeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	if tv, ok := s.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (s *scanner) isConst(e ast.Expr) bool {
+	tv, ok := s.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func (s *scanner) builtin(fun ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := s.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// callee resolves a call to its static *types.Func, or nil for dynamic
+// calls.
+func (s *scanner) callee(n *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...) or pkg.F[T](...)
+		id = instantiatedIdent(fun.X)
+	case *ast.IndexListExpr:
+		id = instantiatedIdent(fun.X)
+	default:
+		return nil
+	}
+	fn, _ := s.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// instantiatedIdent returns the identifier naming the generic function in
+// an instantiation expression's base: `f` in f[T], `F` in pkg.F[T].
+func instantiatedIdent(base ast.Expr) *ast.Ident {
+	switch b := ast.Unparen(base).(type) {
+	case *ast.Ident:
+		return b
+	case *ast.SelectorExpr:
+		return b.Sel
+	}
+	return nil
+}
+
+func (s *scanner) isMapIndex(idx *ast.IndexExpr) bool {
+	t := s.typeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool { return isSliceOf(t, types.Byte) }
+func isRuneSlice(t types.Type) bool { return isSliceOf(t, types.Rune) }
+
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == kind || kind == types.Byte && b.Kind() == types.Uint8 || kind == types.Rune && b.Kind() == types.Int32)
+}

@@ -1,0 +1,24 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"kpj/internal/analysis/allocfree"
+	"kpj/internal/analysis/analysistest"
+)
+
+// TestSites checks every allocation-site class, the waiver forms, and
+// reachability-only reporting on a single package.
+func TestSites(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "testdata/src", "src")
+}
+
+// TestCrossPackageFacts proves the facts round-trip: package a's
+// allocations, exported as facts by its pass, are reported at package
+// b's call sites when b is analyzed with a's facts as dependency input.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunPackages(t, allocfree.Analyzer,
+		analysistest.Pkg{Dir: "testdata/a", Path: "a"},
+		analysistest.Pkg{Dir: "testdata/b", Path: "b"},
+	)
+}

@@ -1,0 +1,25 @@
+// Package a is the dependency half of the cross-package facts fixture:
+// its exported facts make AllocSlice's allocation visible when package b
+// is analyzed later.
+package a
+
+// AllocSlice allocates; the site is reported only in package a's own
+// run (from its local root), never in b's.
+func AllocSlice(n int) []int {
+	return make([]int, n) // want `make reachable from //kpjlint:noalloc root a.LocalRoot`
+}
+
+// Wrapper allocates only transitively, through AllocSlice.
+func Wrapper(n int) []int {
+	return AllocSlice(n)
+}
+
+// Clean is allocation-free.
+func Clean(n int) int {
+	return n + 1
+}
+
+//kpjlint:noalloc
+func LocalRoot(n int) {
+	_ = AllocSlice(n)
+}

@@ -1,0 +1,14 @@
+// Package b is the dependent half of the cross-package facts fixture:
+// its noalloc root reaches package a's allocations only through the
+// facts exported by a's pass.
+package b
+
+import "a"
+
+//kpjlint:noalloc
+func Root(n int) {
+	_ = a.AllocSlice(n) // want `call to a.AllocSlice, which allocates \(a.go:\d+:\d+: make\), reachable from //kpjlint:noalloc root b.Root`
+	_ = a.Wrapper(n) // want `call to a.Wrapper, which allocates \(via a.AllocSlice, a.go:\d+:\d+: make\), reachable from //kpjlint:noalloc root b.Root`
+	_ = a.Clean(n) // transitively allocation-free: no finding
+	_ = a.AllocSlice(n) //kpjlint:alloc(deliberate result-path copy at this call site)
+}

@@ -1,0 +1,72 @@
+// Package src exercises every allocation-site class the allocfree
+// analyzer approximates, plus the waiver forms and reachability rules.
+package src
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+var counter int64
+
+type pair struct{ a, b int }
+
+//kpjlint:noalloc
+func Root(xs []int, m map[string]int, s1, s2 string, n int) {
+	s := make([]int, n) // want `make reachable from //kpjlint:noalloc root src.Root`
+	_ = s
+	xs = append(xs, n) // want `append \(backing array may grow\) reachable from //kpjlint:noalloc root src.Root`
+	_ = xs
+	m["k"] = n // want `map assignment reachable from //kpjlint:noalloc root src.Root`
+	p := new(int) // want `new reachable from //kpjlint:noalloc root src.Root`
+	_ = p
+	_ = s1 + s2 // want `string concatenation reachable from //kpjlint:noalloc root src.Root`
+	_ = []byte(s1) // want `conversion from string \(copies\) reachable from //kpjlint:noalloc root src.Root`
+	sl := []int{1, 2} // want `slice literal reachable from //kpjlint:noalloc root src.Root`
+	_ = sl
+	mm := map[string]int{} // want `map literal reachable from //kpjlint:noalloc root src.Root`
+	_ = mm
+	q := &pair{a: n} // want `&composite literal \(may escape\) reachable from //kpjlint:noalloc root src.Root`
+	_ = q
+	var i any = n // want `interface boxing of int reachable from //kpjlint:noalloc root src.Root`
+	_ = i
+	fmt.Sprintln() // want `call to fmt.Sprintln \(no allocation facts; outside the proof\) reachable from //kpjlint:noalloc root src.Root`
+	cl := func() { n++ } // want `closure captures enclosing variables reachable from //kpjlint:noalloc root src.Root`
+	cl()               // want `call through function value \(unknown target\) reachable from //kpjlint:noalloc root src.Root`
+	go cleanHelper(n) // want `go statement \(heap-allocated goroutine \+ closure\) reachable from //kpjlint:noalloc root src.Root`
+
+	atomic.AddInt64(&counter, 1) // allowed package: no finding
+
+	ws := make([]int, 8) //kpjlint:alloc(warm-up growth of a retained buffer)
+	_ = ws
+
+	_ = func() int { return n * 2 }() // immediately-invoked literal: inline, allocation-free
+
+	helper()
+	_ = cleanHelper(n)
+	_ = docWaived()
+}
+
+// helper is not a root itself; its site is reported because Root
+// reaches it.
+func helper() {
+	_ = make([]chan int, 4) // want `make reachable from //kpjlint:noalloc root src.Root`
+}
+
+func cleanHelper(n int) int {
+	x := n * 2
+	return x
+}
+
+// docWaived is a deliberate allocation subtree: the doc-comment waiver
+// silences its sites and stops the walk.
+//
+//kpjlint:alloc(result-path copy handed to the caller)
+func docWaived() *pair {
+	return &pair{}
+}
+
+// Unreachable allocates but no root reaches it: no finding.
+func Unreachable() []int {
+	return make([]int, 1)
+}

@@ -13,6 +13,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -36,10 +37,13 @@ type Analyzer struct {
 
 func (a *Analyzer) String() string { return a.Name }
 
-// A Diagnostic is one finding at a source position.
+// A Diagnostic is one finding at a source position. Analyzer is the name
+// of the analyzer that produced it; drivers fill it in (via Analyze) so
+// the machine-readable emitters can attribute findings to rules.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Message  string
+	Analyzer string
 }
 
 // A Pass carries one package's syntax and type information to an
@@ -53,7 +57,14 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	ann map[*ast.File]*fileAnnotations
+	// DepFacts holds the facts of every direct import the driver has
+	// facts for (module-internal packages; see facts.go). Keyed by
+	// import path. Nil when the driver predates facts or the package
+	// has no fact-bearing imports.
+	DepFacts map[string]Facts
+
+	ann      map[*ast.File]*fileAnnotations
+	exported json.RawMessage
 }
 
 // Reportf reports a formatted finding at pos.
@@ -86,7 +97,21 @@ const (
 	// (or accounted for by an enclosing loop's Bound). Honored by
 	// boundcheck.
 	Bounded = "bounded"
+	// Noalloc, in a function's doc comment, declares the function an
+	// allocation-freedom root: the allocfree analyzer proves no heap
+	// allocation is reachable from it through statically resolvable
+	// calls. It takes no reason — the claim is the reason.
+	Noalloc = "noalloc"
+	// Alloc, written //kpjlint:alloc(reason), waives one deliberate
+	// allocation site inside noalloc-reachable code (result-path
+	// copies, warm-up growth of retained buffers, error paths). The
+	// reason goes in parentheses so it reads as a term, not a comment.
+	Alloc = "alloc"
 )
+
+// KnownDirectives enumerates the accepted //kpjlint: directive kinds;
+// the directive analyzer flags anything else.
+var KnownDirectives = []string{Deterministic, Bounded, Noalloc, Alloc}
 
 // fileAnnotations indexes one file's //kpjlint: directives: the source
 // lines carrying each kind, plus the body line ranges of functions whose
@@ -139,13 +164,13 @@ func indexAnnotations(fset *token.FileSet, f *ast.File) *fileAnnotations {
 	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if kind, ok := directiveKind(c.Text); ok {
-				record(kind, fset.Position(c.Pos()).Line)
+			if d, ok := ParseDirective(c.Text); ok && !d.Block && !d.Malformed {
+				record(d.Kind, fset.Position(c.Pos()).Line)
 				// A directive anywhere in a comment group annotates the
 				// statement the whole group is attached to, i.e. the line
 				// after the group's end (continuation lines may follow the
 				// directive).
-				record(kind, fset.Position(cg.End()).Line)
+				record(d.Kind, fset.Position(cg.End()).Line)
 			}
 		}
 	}
@@ -155,8 +180,8 @@ func indexAnnotations(fset *token.FileSet, f *ast.File) *fileAnnotations {
 			continue
 		}
 		for _, c := range fd.Doc.List {
-			if kind, ok := directiveKind(c.Text); ok {
-				ann.bodies[kind] = append(ann.bodies[kind], [2]int{
+			if d, ok := ParseDirective(c.Text); ok && !d.Block && !d.Malformed {
+				ann.bodies[d.Kind] = append(ann.bodies[d.Kind], [2]int{
 					fset.Position(fd.Body.Pos()).Line,
 					fset.Position(fd.Body.End()).Line,
 				})
@@ -166,15 +191,84 @@ func indexAnnotations(fset *token.FileSet, f *ast.File) *fileAnnotations {
 	return ann
 }
 
-// directiveKind extracts KIND from a "//kpjlint:KIND [reason]" comment.
-func directiveKind(text string) (string, bool) {
+// A Directive is one parsed //kpjlint: comment, before validation: the
+// directive analyzer checks Kind against KnownDirectives and enforces
+// the per-kind reason and placement rules.
+type Directive struct {
+	Pos    token.Pos
+	Kind   string
+	Reason string
+	// Block records the illegal /*kpjlint:...*/ form. Block directives
+	// are parsed (so they can be reported) but never honored: gofmt may
+	// move block comments, silently detaching the waiver from its line.
+	Block bool
+	// Malformed records a directive whose kind does not directly follow
+	// the colon (e.g. "//kpjlint: bounded"). Reported, never honored.
+	Malformed bool
+}
+
+// ParseDirective parses "//kpjlint:KIND", "//kpjlint:KIND reason", and
+// "//kpjlint:KIND(reason)" comments (and their /* */ forms, marked
+// Block). The directive marker admits no space after // — that is a
+// plain comment mentioning kpjlint, not a directive.
+func ParseDirective(text string) (Directive, bool) {
+	var d Directive
 	rest, ok := strings.CutPrefix(text, "//kpjlint:")
 	if !ok {
-		return "", false
+		if rest, ok = strings.CutPrefix(text, "/*kpjlint:"); !ok {
+			return d, false
+		}
+		d.Block = true
+		rest = strings.TrimSuffix(rest, "*/")
 	}
-	kind, _, _ := strings.Cut(rest, " ")
-	kind = strings.TrimSpace(kind)
-	return kind, kind != ""
+	i := 0
+	for i < len(rest) && (rest[i] == '_' || 'a' <= rest[i] && rest[i] <= 'z' || 'A' <= rest[i] && rest[i] <= 'Z') {
+		i++
+	}
+	d.Kind = rest[:i]
+	if d.Kind == "" {
+		// The kind does not directly follow the colon: surface it as a
+		// malformed directive rather than ignoring it, so a typo like
+		// "//kpjlint: bounded" is caught by the directive analyzer.
+		d.Malformed = true
+		d.Kind, _, _ = strings.Cut(strings.TrimSpace(rest), " ")
+		return d, d.Kind != ""
+	}
+	rest = rest[i:]
+	switch {
+	case strings.HasPrefix(rest, "("):
+		// Parenthesized reason: everything up to the closing paren.
+		if j := strings.LastIndexByte(rest, ')'); j > 0 {
+			d.Reason = strings.TrimSpace(rest[1:j])
+		}
+	default:
+		d.Reason = strings.TrimSpace(rest)
+	}
+	return d, true
+}
+
+// Directives returns every parsed //kpjlint: directive in f, in source
+// order, including malformed ones (unknown kinds, block-comment form).
+// The directive analyzer consumes this; other analyzers use Annotated.
+func Directives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := ParseDirective(c.Text); ok {
+				d.Pos = c.Pos()
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// InModule reports whether path names a package of this module. Facts
+// are derived and exchanged only within the module: the standard
+// library is summarized by the allowlists of the analyzers that need
+// one, and everything else is outside the proofs.
+func InModule(path string) bool {
+	return path == "kpj" || strings.HasPrefix(path, "kpj/")
 }
 
 // OrderSensitive reports whether pkg's emitted values must be a pure

@@ -79,22 +79,27 @@ func TestAnnotated(t *testing.T) {
 	}
 }
 
-func TestDirectiveKind(t *testing.T) {
+func TestParseDirective(t *testing.T) {
 	cases := []struct {
 		text string
-		kind string
+		want Directive
 		ok   bool
 	}{
-		{"//kpjlint:deterministic because reasons", "deterministic", true},
-		{"//kpjlint:bounded", "bounded", true},
-		{"// kpjlint:bounded", "", false}, // directives cannot have the space
-		{"//kpjlint:", "", false},
-		{"// plain comment", "", false},
+		{"//kpjlint:deterministic because reasons", Directive{Kind: "deterministic", Reason: "because reasons"}, true},
+		{"//kpjlint:bounded", Directive{Kind: "bounded"}, true},
+		{"//kpjlint:alloc(result-path copy)", Directive{Kind: "alloc", Reason: "result-path copy"}, true},
+		{"//kpjlint:alloc()", Directive{Kind: "alloc"}, true},
+		{"//kpjlint:noalloc", Directive{Kind: "noalloc"}, true},
+		{"// kpjlint:bounded", Directive{}, false}, // directives cannot have the space
+		{"//kpjlint:", Directive{}, false},
+		{"//kpjlint: bounded late kind", Directive{Kind: "bounded", Malformed: true}, true},
+		{"/*kpjlint:bounded drains*/", Directive{Kind: "bounded", Reason: "drains", Block: true}, true},
+		{"// plain comment", Directive{}, false},
 	}
 	for _, c := range cases {
-		kind, ok := directiveKind(c.text)
-		if kind != c.kind || ok != c.ok {
-			t.Errorf("directiveKind(%q) = %q, %v; want %q, %v", c.text, kind, ok, c.kind, c.ok)
+		d, ok := ParseDirective(c.text)
+		if ok != c.ok || (ok && (d.Kind != c.want.Kind || d.Reason != c.want.Reason || d.Block != c.want.Block || d.Malformed != c.want.Malformed)) {
+			t.Errorf("ParseDirective(%q) = %+v, %v; want %+v, %v", c.text, d, ok, c.want, c.ok)
 		}
 	}
 }

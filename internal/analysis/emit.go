@@ -1,0 +1,168 @@
+package analysis
+
+// Machine-readable output shared by every analyzer and both drivers:
+// findings (position-resolved diagnostics) serialize to a plain JSON
+// array or to a SARIF 2.1.0 log, the format CI code-scanning services
+// ingest. The emitters take findings in any order and sort them into
+// the global deterministic order (file, line, column, message) so two
+// runs over the same tree produce byte-identical artifacts.
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic with its position resolved, the unit the
+// text, JSON, and SARIF emitters consume.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+// NewFinding resolves one diagnostic against fset.
+func NewFinding(fset *token.FileSet, d Diagnostic) Finding {
+	p := fset.Position(d.Pos)
+	return Finding{Analyzer: d.Analyzer, Pos: p, File: p.Filename, Line: p.Line, Column: p.Column, Message: d.Message}
+}
+
+// SortFindings orders findings globally: by file, then position, then
+// message — the deterministic order every output mode emits.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteJSON emits the findings as an indented JSON array (empty array,
+// not null, when there are none — consumers needn't special-case).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	SortFindings(fs)
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(fs)
+}
+
+// SARIF 2.1.0 structures — the minimal subset GitHub code scanning and
+// the sarif validators require. Field names follow the spec exactly.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFSchemaURI is the 2.1.0 schema the log declares; the validation
+// test checks emitted logs against the spec's structural requirements.
+const SARIFSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF emits a SARIF 2.1.0 log for one kpjlint run. analyzers
+// supplies the rule metadata (every suite analyzer, findings or not, so
+// the rule table is stable); file paths are emitted as given — drivers
+// should resolve them relative to the repository root for CI upload.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, fs []Finding) error {
+	SortFindings(fs)
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "kpjlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// sarifURI normalizes a file path for the artifactLocation.uri field,
+// which the spec requires to use forward slashes.
+func sarifURI(path string) string {
+	return strings.ReplaceAll(path, "\\", "/")
+}

@@ -1,0 +1,101 @@
+package analysis
+
+// This file is the cross-package facts layer: the mechanism by which an
+// analyzer's per-function findings in one package become visible when a
+// dependent package is analyzed later (possibly in a different process).
+// It mirrors the role of golang.org/x/tools/go/analysis facts, with two
+// simplifications suited to this stdlib-only framework:
+//
+//   - Facts are per-package blobs, not per-object entries: each analyzer
+//     exports at most one JSON payload per package (typically a map keyed
+//     by qualified function name) via Pass.ExportPackageFacts, and reads
+//     its dependencies' payloads via Pass.ImportFacts.
+//   - Payloads are expected to be *flattened*: an analyzer that needs
+//     transitive information re-exports what it imported merged with its
+//     own package's contribution, so a driver only ever supplies facts
+//     for direct imports (exactly what the `go vet -vettool` protocol's
+//     PackageVetx map hands a unit).
+//
+// Drivers persist facts next to the compiler export data they already
+// traffic in: the vetdriver writes them to the unit's VetxOutput file
+// (cmd/go stores it in the build cache beside the .a file) and reads
+// dependency facts from PackageVetx; the standalone driver keeps the
+// dependency closure's facts in memory for the run and mirrors them into
+// the loadpkg facts cache, keyed by the export data's content hash, so a
+// later `kpjlint ./internal/core` needn't re-derive pqueue's facts.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Facts is one package's exported facts: analyzer name → that analyzer's
+// opaque JSON payload. A nil Facts is a valid "no facts" value.
+type Facts map[string]json.RawMessage
+
+// factsSchema versions the serialized facts format; bump on incompatible
+// change so stale cache/vetx files are ignored rather than misread.
+const factsSchema = "kpjlint-facts/v1"
+
+// factsFile is the on-disk shape of a package's facts.
+type factsFile struct {
+	Schema    string                     `json:"schema"`
+	Analyzers map[string]json.RawMessage `json:"analyzers,omitempty"`
+}
+
+// EncodeFacts serializes facts for a vetx or cache file. Map keys are
+// sorted by encoding/json, so the encoding is deterministic.
+func EncodeFacts(f Facts) ([]byte, error) {
+	return json.Marshal(factsFile{Schema: factsSchema, Analyzers: f})
+}
+
+// DecodeFacts parses a facts file. Empty data decodes to nil facts (the
+// vet protocol requires dependency units to write an output file even
+// when there is nothing to say, and older empty vetx files stay valid).
+// Data with a different schema tag also decodes to nil facts: a stale
+// cache entry means re-deriving, not failing.
+func DecodeFacts(data []byte) (Facts, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var ff factsFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("analysis: corrupt facts file: %w", err)
+	}
+	if ff.Schema != factsSchema {
+		return nil, nil
+	}
+	return ff.Analyzers, nil
+}
+
+// UnmarshalFacts decodes one analyzer's payload (as returned by
+// Pass.ImportFacts) into v.
+func UnmarshalFacts(raw json.RawMessage, v any) error {
+	return json.Unmarshal(raw, v)
+}
+
+// ImportFacts returns the payload this pass's analyzer exported for the
+// direct import path, or nil if the driver supplied none (package outside
+// the module, facts-free analyzer, or a driver predating facts).
+func (p *Pass) ImportFacts(path string) json.RawMessage {
+	return p.DepFacts[path][p.Analyzer.Name]
+}
+
+// ExportPackageFacts records v (JSON-marshaled) as this analyzer's facts
+// for the package under analysis. Call at most once per pass; the driver
+// collects the payload after Run returns and persists it with the
+// package. Analyzers needing cross-package visibility should export a
+// payload merging their imported facts with the local contribution (see
+// the package comment on flattening).
+func (p *Pass) ExportPackageFacts(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("analysis: marshaling %s facts: %w", p.Analyzer.Name, err)
+	}
+	p.exported = data
+	return nil
+}
+
+// ExportedFacts returns the payload recorded by ExportPackageFacts, or
+// nil. Drivers call it after Run.
+func (p *Pass) ExportedFacts() json.RawMessage { return p.exported }

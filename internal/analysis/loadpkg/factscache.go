@@ -1,0 +1,101 @@
+package loadpkg
+
+// The facts cache persists per-package analyzer facts across standalone
+// kpjlint runs, playing the role the build cache's vetx files play under
+// `go vet -vettool`: a run over ./internal/core needn't re-derive
+// pqueue's facts if nothing feeding them changed.
+//
+// Keying is recursive and source-based: a package's key hashes the
+// analyzer-suite version, its own Go sources, and the keys of its
+// module-internal imports — so a body-only edit in a deep dependency
+// (which may leave compiler export data untouched) still invalidates
+// every dependent's entry. Entries hold the same EncodeFacts payload the
+// vet driver writes to VetxOutput.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A FactsCache is a content-addressed store of facts files under the
+// user cache directory. The zero-value-like nil cache is valid and
+// misses everything, so callers never gate on cache availability.
+type FactsCache struct {
+	dir string
+}
+
+// OpenFactsCache opens (creating if needed) the on-disk facts cache.
+// Any failure — no user cache dir, read-only filesystem — degrades to a
+// nil cache rather than an error: caching is an optimization.
+func OpenFactsCache() *FactsCache {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return nil
+	}
+	dir := filepath.Join(base, "kpjlint", "facts")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil
+	}
+	return &FactsCache{dir: dir}
+}
+
+// Get returns the cached facts payload for key, or nil on a miss.
+func (c *FactsCache) Get(key string) []byte {
+	if c == nil {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// Put stores the facts payload for key, best-effort.
+func (c *FactsCache) Put(key string, data []byte) {
+	if c == nil {
+		return
+	}
+	// Write-then-rename so a concurrent run never reads a torn entry.
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil && tmp.Close() == nil {
+		os.Rename(tmp.Name(), filepath.Join(c.dir, key))
+		return
+	}
+	tmp.Close()
+	os.Remove(tmp.Name())
+}
+
+// FactKey computes the cache key for a package: a hash over the
+// analyzer-suite version, the package's Go sources (names and content),
+// and the — already recursive — keys of its fact-bearing imports.
+func FactKey(suiteVersion string, m *Meta, depKeys []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "suite %s\npkg %s\n", suiteVersion, m.ImportPath)
+	for _, name := range m.GoFiles {
+		f, err := os.Open(filepath.Join(m.Dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s\n", name)
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	sorted := append([]string(nil), depKeys...)
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		fmt.Fprintf(h, "dep %s\n", k)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}

@@ -1,0 +1,203 @@
+package vetdriver
+
+// These tests drive Main through the real `go vet -vettool` unit
+// protocol: a scratch module (named kpj, so the facts gate recognizes
+// it) is listed with `go list -export`, per-unit config files are
+// written the way cmd/go writes them, and the dependency's facts flow
+// to the dependent through an actual vetx file on disk. The exit-code
+// assertions are the regression guard for CI failing (not warning) on
+// findings.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kpj/internal/analysis"
+	"kpj/internal/analysis/allocfree"
+	"kpj/internal/analysis/loadpkg"
+)
+
+// writeFixtureModule lays out the two-package scratch module and
+// returns its root: fa allocates; fb's noalloc root calls it.
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module kpj\n\ngo 1.22\n",
+		"fa/fa.go": `package fa
+
+// Alloc allocates a fresh slice.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Clean does not allocate.
+func Clean(n int) int { return n + 1 }
+`,
+		"fb/fb.go": `package fb
+
+import "kpj/fa"
+
+//kpjlint:noalloc
+func Root(n int) {
+	_ = fa.Alloc(n)
+	_ = fa.Clean(n)
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func writeConfig(t *testing.T, dir string, cfg *Config) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, cfg.ID+".cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestProtocolFactsRoundTrip(t *testing.T) {
+	root := writeFixtureModule(t)
+	metas, err := loadpkg.List(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*loadpkg.Meta{}
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+	}
+	fa, fb := byPath["kpj/fa"], byPath["kpj/fb"]
+	if fa == nil || fb == nil {
+		t.Fatalf("go list did not return the fixture packages: %v", byPath)
+	}
+
+	goFiles := func(m *loadpkg.Meta) []string {
+		out := make([]string, len(m.GoFiles))
+		for i, f := range m.GoFiles {
+			out[i] = filepath.Join(m.Dir, f)
+		}
+		return out
+	}
+
+	scratch := t.TempDir()
+	faVetx := filepath.Join(scratch, "fa.vetx")
+	analyzers := []*analysis.Analyzer{allocfree.Analyzer}
+
+	// Unit 1: the dependency, facts-only, as cmd/go schedules it.
+	cfgA := &Config{
+		ID:         "fa",
+		Compiler:   "gc",
+		Dir:        root,
+		ImportPath: "kpj/fa",
+		GoFiles:    goFiles(fa),
+		ImportMap:  map[string]string{},
+		VetxOnly:   true,
+		VetxOutput: faVetx,
+	}
+	var stderrA bytes.Buffer
+	if code := Main(writeConfig(t, scratch, cfgA), &stderrA, analyzers); code != 0 {
+		t.Fatalf("VetxOnly unit exited %d, want 0; stderr:\n%s", code, stderrA.String())
+	}
+	if stderrA.Len() != 0 {
+		t.Errorf("VetxOnly unit printed diagnostics: %s", stderrA.String())
+	}
+	data, err := os.ReadFile(faVetx)
+	if err != nil {
+		t.Fatalf("dependency unit wrote no vetx file: %v", err)
+	}
+	facts, err := analysis.DecodeFacts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if facts[allocfree.Analyzer.Name] == nil {
+		t.Fatalf("vetx file has no allocfree facts: %s", data)
+	}
+
+	// Unit 2: the dependent target, reading the dependency's vetx file.
+	// The dangling PackageVetx entry checks missing-file tolerance.
+	cfgB := &Config{
+		ID:         "fb",
+		Compiler:   "gc",
+		Dir:        root,
+		ImportPath: "kpj/fb",
+		GoFiles:    goFiles(fb),
+		ImportMap:  map[string]string{"kpj/fa": "kpj/fa"},
+		PackageFile: map[string]string{
+			"kpj/fa": fa.Export,
+		},
+		PackageVetx: map[string]string{
+			"kpj/fa":      faVetx,
+			"kpj/missing": filepath.Join(scratch, "does-not-exist.vetx"),
+		},
+		VetxOutput: filepath.Join(scratch, "fb.vetx"),
+	}
+	cfgBPath := writeConfig(t, scratch, cfgB)
+	var stderrB bytes.Buffer
+	code := Main(cfgBPath, &stderrB, analyzers)
+	if code != 1 {
+		t.Fatalf("target unit with findings exited %d, want 1; stderr:\n%s", code, stderrB.String())
+	}
+	out := stderrB.String()
+	if !strings.Contains(out, "call to fa.Alloc, which allocates") ||
+		!strings.Contains(out, "root fb.Root") {
+		t.Errorf("diagnostic does not cross the package boundary via facts:\n%s", out)
+	}
+	if strings.Contains(out, "fa.Clean") {
+		t.Errorf("allocation-free dependency call was flagged:\n%s", out)
+	}
+
+	// Exit-code regression: the same findings under VetxOnly are
+	// suppressed (exit 0), so only the target unit fails the build.
+	cfgB.ID = "fb-vetxonly"
+	cfgB.VetxOnly = true
+	cfgB.VetxOutput = filepath.Join(scratch, "fb2.vetx")
+	var stderrC bytes.Buffer
+	if code := Main(writeConfig(t, scratch, cfgB), &stderrC, analyzers); code != 0 {
+		t.Fatalf("VetxOnly target exited %d, want 0", code)
+	}
+	if stderrC.Len() != 0 {
+		t.Errorf("VetxOnly target printed diagnostics: %s", stderrC.String())
+	}
+}
+
+// TestStdlibUnitWritesEmptyVetx covers the non-module fast path: the
+// unit must still produce the output file the build cache expects.
+func TestStdlibUnitWritesEmptyVetx(t *testing.T) {
+	scratch := t.TempDir()
+	vetx := filepath.Join(scratch, "std.vetx")
+	cfg := &Config{
+		ID:         "std",
+		ImportPath: "strings",
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	}
+	var stderr bytes.Buffer
+	if code := Main(writeConfig(t, scratch, cfg), &stderr, nil); code != 0 {
+		t.Fatalf("stdlib unit exited %d, want 0", code)
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("stdlib unit wrote no vetx file: %v", err)
+	}
+	if facts, err := analysis.DecodeFacts(data); err != nil || facts != nil {
+		t.Errorf("stdlib vetx should decode to no facts, got %v, %v", facts, err)
+	}
+}

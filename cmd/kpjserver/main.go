@@ -18,6 +18,7 @@
 //	GET  /categories
 //	GET  /query?source=42&category=T2&k=5[&alg=IterBoundI][&alpha=1.1][&budget=100000][&stats=1]
 //	POST /batch   with a JSON array of {sources|sourceCategory, targets|category, k}
+//	POST /update  with a JSON delta {setWeights, inserts, deletes, addPOIs, removePOIs}
 //
 // Queries that exceed -timeout or -budget return the paths found so far
 // with "truncated": true; requests beyond -maxinflight are shed with 503.
@@ -28,6 +29,14 @@
 // arms a per-algorithm circuit breaker: N consecutive internal failures
 // switch that algorithm to a degraded serial profile instead of a run of
 // 500s; -breakerprobes clean degraded queries switch it back.
+//
+// POST /update applies live graph changes — edge weights, segment
+// insertions/deletions, POI membership — and atomically publishes a new
+// serving epoch (visible in /healthz and in every query response). The
+// landmark index is repaired incrementally; only the bound-table cache
+// entries the delta touched are invalidated. A failed update keeps the
+// old epoch serving. Updates share the -breaker setting via a dedicated
+// update breaker.
 package main
 
 import (

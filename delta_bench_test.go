@@ -1,0 +1,92 @@
+package kpj_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kpj"
+	"kpj/internal/gen"
+)
+
+// These benchmarks justify incremental landmark repair: for a small
+// delta, Index.Apply (repair only the damaged table entries) must beat
+// Index.ApplyRepair with a forcing threshold (full rebuild) by a wide
+// margin, and the gap should close as the delta grows. Run with:
+//
+//	go test -bench 'BenchmarkApply(Repair|Rebuild)' -benchtime 2s .
+func deltaBenchSetup(b *testing.B, ops int) (*kpj.Index, *kpj.Delta) {
+	b.Helper()
+	og, err := gen.Road(gen.RoadConfig{Width: 40, Height: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := edgesOf(og)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "p sp %d %d\n", og.NumNodes(), len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(&buf, "a %d %d %d\n", e[0]+1, e[1]+1, e[2])
+	}
+	pg, err := kpj.ReadGraph(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := kpj.BuildIndex(pg, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &kpj.Delta{}
+	seen := map[[2]int64]bool{}
+	for _, e := range edges {
+		key := [2]int64{e[0], e[1]}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		// Large decreases so even a 1-op delta genuinely damages
+		// landmark tables — the interesting case for repair.
+		w := e[2] / 8
+		if w < 1 {
+			w = 1
+		}
+		d.SetWeights = append(d.SetWeights, kpj.EdgeUpdate{
+			U: kpj.NodeID(e[0]), V: kpj.NodeID(e[1]), W: w,
+		})
+		if len(d.SetWeights) == ops {
+			break
+		}
+	}
+	return ix, d
+}
+
+func benchApply(b *testing.B, ops int, threshold float64) {
+	ix, d := deltaBenchSetup(b, ops)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := ix.ApplyRepair(d, threshold, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(app.Stats.Repaired()), "tables-repaired")
+		}
+	}
+}
+
+// BenchmarkApplyRepair measures the incremental path at growing delta
+// sizes (default threshold: repair unless >50% of landmarks damaged).
+func BenchmarkApplyRepair(b *testing.B) {
+	for _, ops := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("ops%d", ops), func(b *testing.B) { benchApply(b, ops, 0) })
+	}
+}
+
+// BenchmarkApplyRebuild measures the same deltas with a forcing
+// threshold so every Apply rebuilds all landmark tables from scratch —
+// the cost incremental repair is avoiding.
+func BenchmarkApplyRebuild(b *testing.B) {
+	for _, ops := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("ops%d", ops), func(b *testing.B) { benchApply(b, ops, 1e-12) })
+	}
+}

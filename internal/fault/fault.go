@@ -70,6 +70,10 @@ const (
 	// RouterProbe fires in internal/router once per health-probe cycle.
 	// Panics here are recovered and count as probe failures.
 	RouterProbe Point = "router.probe"
+	// GraphApply fires in graph.Apply once per delta operation, before
+	// the operation is validated — the mid-apply site. An injected error
+	// fails the whole apply; the caller's epoch keeps the old graph.
+	GraphApply Point = "graph.apply"
 )
 
 // Points lists every fault point compiled into the tree, in a fixed
@@ -77,7 +81,7 @@ const (
 var Points = []Point{
 	GraphRead, IndexLoad, IndexBuild, PoolWorker, SubspaceSearch,
 	SPTGrow, CacheInsert, ServerHandler, BatchWorker,
-	RouterProxy, RouterProbe,
+	RouterProxy, RouterProbe, GraphApply,
 }
 
 // QueryPoints are the points hit during query execution (as opposed to

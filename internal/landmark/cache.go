@@ -185,6 +185,90 @@ func (c *SetBoundsCache) insert(key setBoundsKey, nodes []graph.NodeID, val any)
 	}
 }
 
+// Rekey migrates the cached tables of one index generation to its
+// successor after a live update: every entry keyed by oldFP whose node
+// set the update left clean (drop returns false) is re-keyed to the new
+// index's fingerprint — its aggregate table is still exact, because
+// set-bound aggregates are a pure function of the landmark rows at the
+// set's nodes and those rows did not change — while entries drop reports
+// dirty are removed. This is the fingerprint-scoped invalidation story
+// for deltas: only the categories an update actually touched pay a
+// rebuild; the rest of the LRU survives the epoch bump warm.
+//
+// Migrated entries are rebound to newIx (a fresh Bounds/FromBounds
+// sharing the aggregate slices), never mutated in place: in-flight
+// queries on the old epoch keep using the old binding, and per-query
+// node lookups through the migrated entry read the repaired rows — the
+// aggregates alone being clean is not enough, since LowerBound also
+// consults the index at the query node.
+//
+// Each dropped entry counts as exactly one eviction (it displaced live
+// cached state), as does a clean entry that loses the migration race
+// because the new fingerprint already holds an entry under the same key
+// (a concurrent rebuild got there first). Migrated entries keep their
+// LRU position. Rekey returns (migrated, dropped) where dropped includes
+// collision losers.
+//
+// A POI-only delta leaves the fingerprint unchanged (it hashes topology
+// and weights, not categories); Rekey then degenerates to a drop-only
+// sweep — clean entries are already correctly keyed and stay put
+// uncounted, while the changed category's now-orphaned table is still
+// evicted rather than left to squat in the LRU.
+func (c *SetBoundsCache) Rekey(oldFP uint64, newIx *Index, drop func(nodes []graph.NodeID) bool) (migrated, dropped int) {
+	newFP := newIx.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var stale []*list.Element
+	//kpjlint:deterministic sweep order does not matter: each stale
+	// entry is dropped or migrated independently, and two old keys can
+	// never collide on the same new key (only the fingerprint changes).
+	for key, el := range c.entries {
+		if key.fp == oldFP {
+			stale = append(stale, el)
+		}
+	}
+	for _, el := range stale {
+		e := el.Value.(*setBoundsEntry)
+		oldKey := e.key
+		if drop != nil && drop(e.nodes) {
+			c.lru.Remove(el)
+			delete(c.entries, oldKey)
+			c.evictions++
+			dropped++
+			continue
+		}
+		if oldFP == newFP {
+			continue // already correctly keyed; nothing to migrate
+		}
+		newKey := setBoundsKey{fp: newFP, kind: oldKey.kind, hash: oldKey.hash}
+		if _, occupied := c.entries[newKey]; occupied {
+			c.lru.Remove(el)
+			delete(c.entries, oldKey)
+			c.evictions++
+			dropped++
+			continue
+		}
+		delete(c.entries, oldKey)
+		e.key = newKey
+		e.val = rebind(e.val, newIx)
+		c.entries[newKey] = el
+		migrated++
+	}
+	return migrated, dropped
+}
+
+// rebind clones a cached table onto a new index, sharing the aggregate
+// slices (which are immutable once built).
+func rebind(val any, ix *Index) any {
+	switch b := val.(type) {
+	case *Bounds:
+		return &Bounds{ix: ix, minFwd: b.minFwd, maxBwd: b.maxBwd}
+	case *FromBounds:
+		return &FromBounds{ix: ix, maxFwd: b.maxFwd, minBwd: b.minBwd}
+	}
+	return val
+}
+
 func sameNodes(a, b []graph.NodeID) bool {
 	if len(a) != len(b) {
 		return false

@@ -1,0 +1,274 @@
+package landmark
+
+import (
+	"fmt"
+	"sync"
+
+	"kpj/internal/fault"
+	"kpj/internal/graph"
+	"kpj/internal/sssp"
+)
+
+// This file is the incremental maintenance path for the landmark index
+// under live graph updates: instead of rebuilding every distance table
+// after a delta (the cost of BuildWithLandmarks, 2·|L| full Dijkstras),
+// Repair re-runs SSSP only from the landmarks whose tables a changed
+// edge can actually have damaged, and falls back to recomputing
+// everything past a damage threshold. The damage test is conservative —
+// a table that is not flagged is provably identical on the new graph —
+// so the repaired index is row-for-row equal to a from-scratch rebuild
+// with the same landmark set (the invariant the metamorphic churn suite
+// pins).
+//
+// Damage rules, per landmark w and net edge change (u, v, old→new):
+//
+//   - forward table δ(w, ·): a weight decrease (or insertion) matters
+//     iff δ(w,u) + new < δ(w,v) — the edge now shortcuts something. A
+//     weight increase (or deletion) matters iff δ(w,u) + old == δ(w,v) —
+//     the edge lay on some shortest path from w.
+//   - backward table δ(·, w): the mirror image with the roles of u and v
+//     swapped: decrease iff new + δ(v,w) < δ(u,w), increase iff
+//     old + δ(v,w) == δ(u,w).
+//
+// Entries at the far32 sentinel are inexact (the true distance merely
+// exceeds int32), so any rule that would need their exact value reports
+// damage conservatively.
+
+// DefaultRepairThreshold is the damaged-row fraction past which Repair
+// recomputes every table instead: once most rows need a fresh Dijkstra
+// anyway, per-row bookkeeping only adds overhead.
+const DefaultRepairThreshold = 0.5
+
+// RepairStats reports what one Repair call did.
+type RepairStats struct {
+	Landmarks   int  // landmark count (tables per direction)
+	FwdRepaired int  // forward tables recomputed
+	BwdRepaired int  // backward tables recomputed
+	FullRebuild bool // damage exceeded the threshold: all 2·L tables recomputed
+	DirtyNodes  int  // nodes whose fwd or bwd entry changed in any table
+}
+
+// Repaired reports the total number of tables recomputed.
+func (s RepairStats) Repaired() int { return s.FwdRepaired + s.BwdRepaired }
+
+// Repair produces the index for newG — the graph that results from
+// applying the given net edge changes to old's graph — by recomputing
+// only the damaged distance tables. It returns the new index, a per-node
+// dirty mask (true where any landmark's fwd or bwd entry changed; the
+// exact scope for bound-table cache invalidation), and repair stats.
+// old is not modified; undamaged tables are shared between the two
+// indexes, which is safe because both are immutable.
+//
+// threshold is the damaged-table fraction (of 2·L) past which all
+// tables are recomputed; <= 0 uses DefaultRepairThreshold.
+// parallelism bounds the recomputation Dijkstras (<= 0 = all cores).
+func Repair(newG *graph.Graph, old *Index, changes []graph.EdgeChange, threshold float64, parallelism int) (*Index, []bool, RepairStats, error) {
+	if err := fault.Hit(fault.IndexBuild); err != nil {
+		return nil, nil, RepairStats{}, fmt.Errorf("landmark: repair: %w", err)
+	}
+	n := old.g.NumNodes()
+	if newG.NumNodes() != n {
+		return nil, nil, RepairStats{}, fmt.Errorf("landmark: repair: graph has %d nodes, index was built over %d", newG.NumNodes(), n)
+	}
+	if threshold <= 0 {
+		threshold = DefaultRepairThreshold
+	}
+	L := len(old.landmarks)
+	stats := RepairStats{Landmarks: L}
+
+	fwdDamaged := make([]bool, L)
+	bwdDamaged := make([]bool, L)
+	damaged := 0
+	for i := 0; i < L; i++ {
+		for _, c := range changes {
+			if c.U == c.V {
+				continue // self-loops never lie on shortest paths
+			}
+			if !fwdDamaged[i] && rowDamaged(old.fwd[i], c.U, c.V, c.Old, c.New) {
+				fwdDamaged[i] = true
+				damaged++
+			}
+			if !bwdDamaged[i] && rowDamaged(old.bwd[i], c.V, c.U, c.Old, c.New) {
+				bwdDamaged[i] = true
+				damaged++
+			}
+			if fwdDamaged[i] && bwdDamaged[i] {
+				break
+			}
+		}
+	}
+
+	if float64(damaged) > threshold*float64(2*L) {
+		stats.FullRebuild = true
+		for i := 0; i < L; i++ {
+			fwdDamaged[i], bwdDamaged[i] = true, true
+		}
+	}
+
+	fwd := make([][]int32, L)
+	bwd := make([][]int32, L)
+	type job struct {
+		dir graph.Direction
+		i   int
+	}
+	var jobs []job
+	for i := 0; i < L; i++ {
+		if fwdDamaged[i] {
+			jobs = append(jobs, job{graph.Forward, i})
+			stats.FwdRepaired++
+		} else {
+			fwd[i] = old.fwd[i]
+		}
+		if bwdDamaged[i] {
+			jobs = append(jobs, job{graph.Backward, i})
+			stats.BwdRepaired++
+		} else {
+			bwd[i] = old.bwd[i]
+		}
+	}
+	runJobs(jobs, parallelism, func(j job) {
+		//kpjlint:deterministic each job writes only its own table slot;
+		// every table is a pure function of (newG, landmark), so the
+		// repaired index is identical at every parallelism level.
+		row := compress(sssp.Dijkstra(newG, j.dir, old.landmarks[j.i]).Dist)
+		if j.dir == graph.Forward {
+			fwd[j.i] = row
+		} else {
+			bwd[j.i] = row
+		}
+	})
+
+	dirty := make([]bool, n)
+	for i := 0; i < L; i++ {
+		if fwdDamaged[i] {
+			diffRows(dirty, old.fwd[i], fwd[i])
+		}
+		if bwdDamaged[i] {
+			diffRows(dirty, old.bwd[i], bwd[i])
+		}
+	}
+	for _, d := range dirty {
+		if d {
+			stats.DirtyNodes++
+		}
+	}
+
+	return newIndex(newG, old.landmarks, fwd, bwd), dirty, stats, nil
+}
+
+// rowDamaged applies the damage rules to one compressed distance row.
+// For a forward table pass (tail, head) = (U, V); for a backward table
+// the roles swap: the relaxation there is dist[head-side] + w improving
+// dist[tail-side], which is the same formula with (tail, head) = (V, U).
+func rowDamaged(row []int32, tail, head graph.NodeID, oldW, newW graph.Weight) bool {
+	dt, dh := row[tail], row[head]
+	if dt == unreach32 {
+		// The relaxation source is unreachable from (or to) the
+		// landmark; no change to this edge can alter any distance.
+		return false
+	}
+	if dt == far32 {
+		return true // inexact source distance: conservative
+	}
+	if newW < oldW { // decrease or insertion: can the edge shortcut?
+		if dh >= far32 {
+			return true // head newly reachable, or inexact
+		}
+		return graph.Weight(dt)+newW < graph.Weight(dh)
+	}
+	// Increase or deletion: did the edge lie on a shortest path?
+	if dh == unreach32 {
+		// The edge existed (oldW finite) and its source side is settled,
+		// so the head side cannot be unreachable; degenerate rows are
+		// treated as damaged to stay safe.
+		return oldW < graph.Infinity
+	}
+	if dh == far32 {
+		return true
+	}
+	return graph.Weight(dt)+oldW == graph.Weight(dh)
+}
+
+// diffRows marks every node whose entry differs between two rows.
+func diffRows(dirty []bool, old, new []int32) {
+	for v := range old {
+		if old[v] != new[v] {
+			dirty[v] = true
+		}
+	}
+}
+
+// runJobs executes the jobs on up to `parallelism` goroutines (<= 0 =
+// all cores), returning when all are done.
+func runJobs[T any](jobs []T, parallelism int, run func(T)) {
+	workers := buildWorkers(parallelism)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			run(j)
+		}
+		return
+	}
+	var next int64
+	var nextMu sync.Mutex
+	claim := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		t := int(next)
+		next++
+		return t
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		//kpjlint:deterministic workers claim job indices through a
+		// mutex and each job writes a distinct table slot; output is
+		// identical at every worker count.
+		go func() {
+			defer wg.Done()
+			for {
+				t := claim()
+				if t >= len(jobs) {
+					return
+				}
+				run(jobs[t])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TablesChecksum hashes every distance entry of the index (FNV-1a over
+// landmark ids and both table directions). Two indexes over equal graphs
+// with equal landmark sets have equal checksums exactly when their
+// tables are entry-for-entry identical — the deep-equality check the
+// incremental-repair-vs-full-rebuild tests rely on, strictly stronger
+// than Fingerprint (which hashes only the inputs tables are derived
+// from).
+func (ix *Index) TablesChecksum() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(x uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(x & 0xff)
+			h *= prime64
+			x >>= 8
+		}
+	}
+	for _, id := range ix.landmarks {
+		mix(uint32(id))
+	}
+	for _, rows := range [2][][]int32{ix.fwd, ix.bwd} {
+		for _, row := range rows {
+			for _, d := range row {
+				mix(uint32(d))
+			}
+		}
+	}
+	return h
+}
+
+// Graph returns the graph this index was built over.
+func (ix *Index) Graph() *graph.Graph { return ix.g }

@@ -1,0 +1,304 @@
+package landmark
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kpj/internal/graph"
+)
+
+// randomDigraph builds a random sparse digraph for repair tests.
+func randomDigraph(t *testing.T, rng *rand.Rand, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		deg := 1 + rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			v := rng.Intn(n)
+			if v != u {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v), graph.Weight(1+rng.Intn(40)))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randomDelta derives a small valid delta over g.
+func randomDelta(rng *rand.Rand, g *graph.Graph) *graph.Delta {
+	var d graph.Delta
+	n := g.NumNodes()
+	var present [][2]graph.NodeID
+	for u := 0; u < n; u++ {
+		for _, e := range g.Out(graph.NodeID(u)) {
+			present = append(present, [2]graph.NodeID{graph.NodeID(u), e.To})
+		}
+	}
+	ops := 1 + rng.Intn(5)
+	for i := 0; i < ops && len(present) > 0; i++ {
+		switch rng.Intn(3) {
+		case 0: // weight change
+			e := present[rng.Intn(len(present))]
+			d.SetWeights = append(d.SetWeights, graph.EdgeUpdate{U: e[0], V: e[1], W: graph.Weight(1 + rng.Intn(40))})
+		case 1: // delete (at most one, so the graph keeps most structure)
+			if len(d.Deletes) == 0 {
+				k := rng.Intn(len(present))
+				e := present[k]
+				already := false
+				for _, s := range d.SetWeights {
+					if s.U == e[0] && s.V == e[1] {
+						already = true
+					}
+				}
+				if !already {
+					d.Deletes = append(d.Deletes, graph.EdgeRef{U: e[0], V: e[1]})
+					present = append(present[:k], present[k+1:]...)
+				}
+			}
+		default: // insert
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if _, ok := g.HasEdge(u, v); ok {
+				continue
+			}
+			dup := false
+			for _, in := range d.Inserts {
+				if in.U == u && in.V == v {
+					dup = true
+				}
+			}
+			if !dup {
+				d.Inserts = append(d.Inserts, graph.EdgeUpdate{U: u, V: v, W: graph.Weight(1 + rng.Intn(40))})
+			}
+		}
+	}
+	return &d
+}
+
+// TestRepairMatchesFullRebuild is the core soundness property: after any
+// delta, the incrementally repaired index must be row-for-row identical
+// to a from-scratch BuildWithLandmarks over the new graph — including
+// when the damage heuristic decided to recompute nothing.
+func TestRepairMatchesFullRebuild(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(t, rng, 8+rng.Intn(10))
+		n := g.NumNodes()
+		lmk := []graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n / 2))}
+		old, err := BuildWithLandmarks(g, lmk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := randomDelta(rng, g)
+		ng, eff, err := graph.Apply(g, d)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		repaired, dirty, stats, err := Repair(ng, old, eff.Changes, 0, 1+rng.Intn(4))
+		if err != nil {
+			t.Fatalf("seed %d: repair: %v", seed, err)
+		}
+		rebuilt, err := BuildWithLandmarks(ng, lmk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repaired.Fingerprint() != rebuilt.Fingerprint() {
+			t.Fatalf("seed %d: fingerprint %x vs rebuild %x", seed, repaired.Fingerprint(), rebuilt.Fingerprint())
+		}
+		if repaired.TablesChecksum() != rebuilt.TablesChecksum() {
+			t.Fatalf("seed %d: tables differ from full rebuild (repaired %d/%d rows, full=%v, changes=%+v)",
+				seed, stats.FwdRepaired, stats.BwdRepaired, stats.FullRebuild, eff.Changes)
+		}
+		// The dirty mask must cover every node whose entry changed
+		// between the old and the rebuilt index, in any table.
+		for i := range lmk {
+			for v := 0; v < n; v++ {
+				if (old.fwd[i][v] != rebuilt.fwd[i][v] || old.bwd[i][v] != rebuilt.bwd[i][v]) && !dirty[v] {
+					t.Fatalf("seed %d: node %d changed but is not dirty", seed, v)
+				}
+			}
+		}
+		wantDirty := 0
+		for _, x := range dirty {
+			if x {
+				wantDirty++
+			}
+		}
+		if stats.DirtyNodes != wantDirty {
+			t.Fatalf("seed %d: DirtyNodes %d, mask has %d", seed, stats.DirtyNodes, wantDirty)
+		}
+		// Old index untouched.
+		if old.Graph() != g {
+			t.Fatal("old index rebound")
+		}
+	}
+}
+
+// TestRepairNoDamageSharesRows pins the cheap path: a weight increase on
+// an edge that lies on no shortest path repairs nothing and shares every
+// row with the old index.
+func TestRepairNoDamageSharesRows(t *testing.T) {
+	// 0 -1-> 1 -1-> 2, plus a heavy direct edge 0 -10-> 2 that no
+	// shortest path uses. Increasing the heavy edge damages nothing.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(0, 2, 10)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := BuildWithLandmarks(g, []graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, eff, err := graph.Apply(g, &graph.Delta{SetWeights: []graph.EdgeUpdate{{U: 0, V: 2, W: 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, dirty, stats, err := Repair(ng, old, eff.Changes, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Repaired() != 0 || stats.FullRebuild {
+		t.Fatalf("expected zero repairs, got %+v", stats)
+	}
+	if &repaired.fwd[0][0] != &old.fwd[0][0] || &repaired.bwd[0][0] != &old.bwd[0][0] {
+		t.Fatal("undamaged rows were copied, not shared")
+	}
+	for v, x := range dirty {
+		if x {
+			t.Fatalf("node %d dirty after no-op repair", v)
+		}
+	}
+	if repaired.Graph() != ng {
+		t.Fatal("repaired index not bound to the new graph")
+	}
+}
+
+// TestRepairDecreaseDamages pins the other direction: shortening an edge
+// that creates a new shortcut recomputes the affected tables.
+func TestRepairDecreaseDamages(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(0, 2, 10)
+	g, _ := b.Build()
+	old, err := BuildWithLandmarks(g, []graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, eff, err := graph.Apply(g, &graph.Delta{SetWeights: []graph.EdgeUpdate{{U: 0, V: 2, W: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, dirty, stats, err := Repair(ng, old, eff.Changes, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FwdRepaired != 1 {
+		t.Fatalf("fwd table not repaired: %+v", stats)
+	}
+	if !dirty[2] {
+		t.Fatal("node 2's distance changed but is not dirty")
+	}
+	if got := repaired.fwd[0][2]; got != 1 {
+		t.Fatalf("repaired δ(0,2) = %d, want 1", got)
+	}
+}
+
+// TestRepairThresholdFallsBack forces the full-rebuild path and checks it
+// still matches a from-scratch build.
+func TestRepairThresholdFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDigraph(t, rng, 12)
+	lmk := []graph.NodeID{1, 5, 9}
+	old, err := BuildWithLandmarks(g, lmk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many weight changes: with a tiny threshold any damage triggers the
+	// full rebuild.
+	d := randomDelta(rng, g)
+	for len(d.SetWeights) == 0 {
+		d = randomDelta(rng, g)
+	}
+	ng, eff, err := graph.Apply(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, _, stats, err := Repair(ng, old, eff.Changes, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FullRebuild {
+		t.Fatalf("threshold not honored: %+v", stats)
+	}
+	if stats.FwdRepaired != len(lmk) || stats.BwdRepaired != len(lmk) {
+		t.Fatalf("full rebuild did not recompute everything: %+v", stats)
+	}
+	rebuilt, err := BuildWithLandmarks(ng, lmk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.TablesChecksum() != rebuilt.TablesChecksum() {
+		t.Fatal("full-rebuild repair differs from BuildWithLandmarks")
+	}
+}
+
+// TestRepairRejectsNodeCountChange guards the node-invariance contract.
+func TestRepairRejectsNodeCountChange(t *testing.T) {
+	g := mustLine(t, 4)
+	other := mustLine(t, 5)
+	old, err := BuildWithLandmarks(g, []graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Repair(other, old, nil, 0, 1); err == nil {
+		t.Fatal("repair accepted a graph with a different node count")
+	}
+}
+
+func mustLine(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddBiEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTablesChecksumDetectsChanges sanity-checks the deep checksum.
+func TestTablesChecksumDetectsChanges(t *testing.T) {
+	g := mustLine(t, 5)
+	a, err := BuildWithLandmarks(g, []graph.NodeID{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := BuildWithLandmarks(g, []graph.NodeID{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TablesChecksum() != b2.TablesChecksum() {
+		t.Fatal("identical builds disagree")
+	}
+	c, err := BuildWithLandmarks(g, []graph.NodeID{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TablesChecksum() == c.TablesChecksum() {
+		t.Fatal("different landmark sets collide")
+	}
+	mut := reflect.ValueOf(a.fwd[0]).Interface().([]int32)
+	mut[2]++
+	defer func() { mut[2]-- }()
+	if a.TablesChecksum() == b2.TablesChecksum() {
+		t.Fatal("entry mutation not detected")
+	}
+}

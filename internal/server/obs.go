@@ -46,6 +46,8 @@ type serverMetrics struct {
 	trips     *obs.Counter
 	reloads   *obs.Counter
 	reloadErr *obs.Counter
+	updates   *obs.Counter
+	updateErr *obs.Counter
 	latencyUS *obs.Histogram
 }
 
@@ -64,6 +66,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		trips:     reg.Counter("kpj_http_breaker_trips_total", "circuit breaker open transitions"),
 		reloads:   reg.Counter(`kpj_http_index_reloads_total{result="ok"}`, "successful index hot-reloads"),
 		reloadErr: reg.Counter(`kpj_http_index_reloads_total{result="error"}`, "index hot-reloads rejected (old index kept)"),
+		updates:   reg.Counter(`kpj_http_updates_total{result="ok"}`, "live updates that published a new epoch"),
+		updateErr: reg.Counter(`kpj_http_updates_total{result="error"}`, "live updates rejected (old epoch kept)"),
 		// 64µs..~67s in 21 half-decade-ish steps: spans interactive
 		// queries through deadline-bound worst cases.
 		latencyUS: reg.Histogram("kpj_http_request_micros", "query/batch request latency in microseconds",
@@ -116,6 +120,17 @@ func (m *serverMetrics) observeTrip() {
 		return
 	}
 	m.trips.Inc()
+}
+
+func (m *serverMetrics) observeUpdate(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.updates.Inc()
+	} else {
+		m.updateErr.Inc()
+	}
 }
 
 func (m *serverMetrics) observeReload(ok bool) {

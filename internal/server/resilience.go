@@ -104,35 +104,51 @@ func WithBreaker(threshold, probes int) Option {
 	}
 }
 
-// index returns the current index snapshot (possibly nil). Requests call
-// it once and use the snapshot throughout so a concurrent swap cannot
-// split one request across two indexes.
-func (s *Server) index() *kpj.Index { return s.ix.Load() }
+// index returns the current epoch's index (possibly nil). Request
+// handlers do not use it — they snapshot the whole epoch once — it
+// exists for readiness checks and tests.
+func (s *Server) index() *kpj.Index { return s.snapshot().ix }
 
-// SwapIndex atomically replaces the serving index. In-flight requests
-// finish on the snapshot they loaded; subsequent requests use ix. The
-// bounds cache needs no flush: it is keyed by index fingerprint, so
-// entries of the old index simply stop being hit and age out.
-func (s *Server) SwapIndex(ix *kpj.Index) { s.ix.Store(ix) }
+// SwapIndex publishes a new epoch carrying the current graph and the
+// given index. In-flight requests finish on the snapshot they loaded;
+// subsequent requests use ix. The bounds cache needs no flush: it is
+// keyed by index fingerprint, so entries of the old index simply stop
+// being hit and age out.
+func (s *Server) SwapIndex(ix *kpj.Index) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.swapIndexLocked(ix)
+}
+
+func (s *Server) swapIndexLocked(ix *kpj.Index) {
+	ep := s.snapshot()
+	s.epoch.Store(&epochState{g: ep.g, ix: ix, seq: ep.seq + 1})
+}
 
 // ReloadIndex loads a landmark index from path, validates it against the
 // serving graph (fingerprint and checksum, via kpj.LoadIndex), and swaps
 // it in. On any error — unreadable file, corrupt or mismatched index,
-// injected load fault — the currently serving index stays in place; a
+// injected load fault — the currently serving epoch stays in place; a
 // reload can never leave the server worse than before it.
 func (s *Server) ReloadIndex(path string) error {
+	// The whole load-validate-swap runs under the update mutex so the
+	// graph the index is validated against is the graph it gets paired
+	// with — a concurrent live update cannot slip a new graph generation
+	// in between.
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
 	f, err := os.Open(path)
 	if err != nil {
 		s.met.observeReload(false)
 		return fmt.Errorf("server: reload index: %w", err)
 	}
 	defer f.Close()
-	ix, err := kpj.LoadIndex(f, s.g)
+	ix, err := kpj.LoadIndex(f, s.snapshot().g)
 	if err != nil {
 		s.met.observeReload(false)
 		return fmt.Errorf("server: reload index %s: %w", path, err)
 	}
-	s.SwapIndex(ix)
+	s.swapIndexLocked(ix)
 	s.met.observeReload(true)
 	return nil
 }
@@ -166,7 +182,7 @@ func (s *Server) execQuery(p queryParams) (paths []kpj.Path, err error) {
 	if ferr := fault.Hit(fault.ServerHandler); ferr != nil {
 		return nil, ferr
 	}
-	return s.g.TopKJoinSets(p.sources, p.targets, p.k, p.opt)
+	return p.ep.g.TopKJoinSets(p.sources, p.targets, p.k, p.opt)
 }
 
 // faultedQuery classifies a query error for the breaker: true only for

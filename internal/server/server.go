@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness + graph shape + breaker states
+//	GET  /healthz       liveness + graph shape + epoch + breaker states
 //	GET  /readyz        readiness: index loaded and not draining
 //	GET  /categories    category names with sizes
 //	GET  /query         one query via URL parameters
 //	POST /batch         JSON array of queries, answered concurrently
+//	POST /update        apply a kpj.Delta and publish a new serving epoch
 //
 // /query parameters: source (node id) or sourceCategory, plus category
 // (destination) or target (node id); optional k (default 10), alg
@@ -27,11 +28,26 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"kpj"
 )
+
+// epochState is one immutable serving generation: a graph, its (optional)
+// landmark index, and a monotonically increasing sequence number. A new
+// generation is published for every successful live update or index
+// swap; requests pin the generation they loaded for their whole lifetime.
+type epochState struct {
+	g   *kpj.Graph
+	ix  *kpj.Index // may be nil
+	seq uint64
+}
+
+// snapshot returns the current epoch. Handlers call it exactly once per
+// request and thread the result through parsing and execution.
+func (s *Server) snapshot() *epochState { return s.epoch.Load() }
 
 // Server is the http.Handler. Queries run against one immutable graph and
 // optional landmark index; it is safe for concurrent use.
@@ -44,13 +60,25 @@ import (
 // short by a deadline or budget still return the paths found so far,
 // marked "truncated": true.
 type Server struct {
-	g *kpj.Graph
-	// ix holds the current landmark index behind an atomic pointer so a
-	// SIGHUP-driven ReloadIndex can swap it while requests are in flight:
-	// each request loads the pointer once and runs entirely against that
-	// snapshot (indexes are immutable). May hold nil (no index).
-	ix  atomic.Pointer[kpj.Index]
-	mux *http.ServeMux
+	// epoch holds the serving (graph, index, sequence) triple behind one
+	// atomic pointer so live updates (POST /update) and SIGHUP-driven
+	// index reloads can publish a new generation while requests are in
+	// flight: each request loads the pointer once and runs entirely
+	// against that snapshot (graphs and indexes are immutable), so no
+	// request ever observes a torn graph/index pair. The index slot may
+	// be nil (no index).
+	epoch atomic.Pointer[epochState]
+	// updateMu serializes epoch mutations (Update, SwapIndex,
+	// ReloadIndex): each mutation reads the current epoch, derives its
+	// successor, and publishes it as one atomic store.
+	updateMu sync.Mutex
+	// updateProbe admits one update at a time while the update breaker is
+	// open: the first arrival becomes the probe, concurrent ones are shed.
+	updateProbe atomic.Bool
+	// updateBr is the circuit breaker for POST /update (WithBreaker);
+	// nil when breakers are disabled.
+	updateBr *breaker
+	mux      *http.ServeMux
 	// maxK bounds per-request k to keep one request from monopolizing
 	// the process.
 	maxK int
@@ -151,8 +179,8 @@ func WithBoundsCacheSize(n int) Option {
 
 // New builds a Server over g with an optional landmark index.
 func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
-	s := &Server{g: g, mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
-	s.ix.Store(ix)
+	s := &Server{mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
+	s.epoch.Store(&epochState{g: g, ix: ix})
 	s.hadIndex = ix != nil
 	for _, o := range opts {
 		o(s)
@@ -167,12 +195,14 @@ func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
 				s.breakers[alg] = &breaker{threshold: s.breakerThreshold, probes: s.breakerProbes}
 			}
 		}
+		s.updateBr = &breaker{threshold: s.breakerThreshold, probes: s.breakerProbes}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /categories", s.handleCategories)
 	s.mux.HandleFunc("GET /query", s.limited(s.handleQuery))
 	s.mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.installObs()
 	return s
 }
@@ -237,6 +267,13 @@ type PathJSON struct {
 type QueryResponse struct {
 	Paths  []PathJSON `json:"paths"`
 	Micros int64      `json:"micros"`
+	// Epoch is the serving generation this query ran against. A query
+	// racing a live update sees exactly one generation — its paths,
+	// Epoch, and Fingerprint are all drawn from the same snapshot.
+	Epoch uint64 `json:"epoch"`
+	// Fingerprint identifies the index generation (present when the
+	// epoch carries an index).
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// TimeoutMicros echoes the per-request deadline that applied (0 =
 	// none), so callers can tell how much time the query was allowed.
 	TimeoutMicros int64 `json:"timeoutMicros,omitempty"`
@@ -268,16 +305,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ep := s.snapshot()
 	body := map[string]any{
 		"status":     "ok",
-		"nodes":      s.g.NumNodes(),
-		"edges":      s.g.NumEdges(),
-		"categories": len(s.g.Categories()),
-		"indexed":    s.index() != nil,
+		"nodes":      ep.g.NumNodes(),
+		"edges":      ep.g.NumEdges(),
+		"categories": len(ep.g.Categories()),
+		"indexed":    ep.ix != nil,
+		"epoch":      ep.seq,
 		"draining":   s.draining.Load(),
 	}
-	if ix := s.index(); ix != nil {
-		body["fingerprint"] = fmt.Sprintf("%016x", ix.Fingerprint())
+	if ep.ix != nil {
+		body["fingerprint"] = fmt.Sprintf("%016x", ep.ix.Fingerprint())
 	}
 	if len(s.breakers) > 0 {
 		states := map[string]string{}
@@ -287,6 +326,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			}
 			states[name] = s.breakers[alg].state()
 		}
+		states["update"] = s.updateBr.state()
 		body["breakers"] = states
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -299,10 +339,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // with an index, the index having been swapped out. kpjrouter probes it
 // and stops routing to a draining replica before its listener closes.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ep := s.snapshot()
 	ready, reason := s.readiness()
-	body := map[string]any{"ready": ready}
-	if ix := s.index(); ix != nil {
-		body["fingerprint"] = fmt.Sprintf("%016x", ix.Fingerprint())
+	body := map[string]any{"ready": ready, "epoch": ep.seq}
+	if ep.ix != nil {
+		body["fingerprint"] = fmt.Sprintf("%016x", ep.ix.Fingerprint())
 	}
 	if !ready {
 		body["reason"] = reason
@@ -337,9 +378,10 @@ func (s *Server) StartDraining() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) handleCategories(w http.ResponseWriter, _ *http.Request) {
+	g := s.snapshot().g
 	out := map[string]int{}
-	for _, name := range s.g.Categories() {
-		nodes, err := s.g.Category(name)
+	for _, name := range g.Categories() {
+		nodes, err := g.Category(name)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "category %q: %v", name, err)
 			return
@@ -359,22 +401,25 @@ var algorithmByName = map[string]kpj.Algorithm{
 	"DA-SPT":     kpj.DASPT,
 }
 
-// queryParams is the parsed, validated request.
+// queryParams is the parsed, validated request, pinned to the epoch it
+// was parsed against: category resolution and execution must see the
+// same graph generation.
 type queryParams struct {
+	ep      *epochState
 	sources []kpj.NodeID
 	targets []kpj.NodeID
 	k       int
 	opt     *kpj.Options
 }
 
-func (s *Server) parseQuery(get func(string) string, withStats, withSpans bool) (queryParams, error) {
-	var p queryParams
+func (s *Server) parseQuery(ep *epochState, get func(string) string, withStats, withSpans bool) (queryParams, error) {
+	p := queryParams{ep: ep}
 
 	switch srcCat, src := get("sourceCategory"), get("source"); {
 	case srcCat != "" && src != "":
 		return p, fmt.Errorf("give either source or sourceCategory, not both")
 	case srcCat != "":
-		nodes, err := s.g.Category(srcCat)
+		nodes, err := ep.g.Category(srcCat)
 		if err != nil {
 			return p, fmt.Errorf("unknown sourceCategory %q", srcCat)
 		}
@@ -393,7 +438,7 @@ func (s *Server) parseQuery(get func(string) string, withStats, withSpans bool) 
 	case cat != "" && tgt != "":
 		return p, fmt.Errorf("give either category or target, not both")
 	case cat != "":
-		nodes, err := s.g.Category(cat)
+		nodes, err := ep.g.Category(cat)
 		if err != nil {
 			return p, fmt.Errorf("unknown category %q", cat)
 		}
@@ -424,7 +469,7 @@ func (s *Server) parseQuery(get func(string) string, withStats, withSpans bool) 
 	if !ok {
 		return p, fmt.Errorf("unknown alg %q", get("alg"))
 	}
-	p.opt = &kpj.Options{Algorithm: algo, Index: s.index(),
+	p.opt = &kpj.Options{Algorithm: algo, Index: ep.ix,
 		Parallelism: s.parallelism, BoundsCache: s.cache}
 	if as := get("alpha"); as != "" {
 		alpha, err := strconv.ParseFloat(as, 64)
@@ -454,7 +499,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	withStats := q.Get("stats") == "1"
 	withSpans := q.Get("spans") == "1"
-	p, err := s.parseQuery(q.Get, withStats, withSpans)
+	ep := s.snapshot()
+	p, err := s.parseQuery(ep, q.Get, withStats, withSpans)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		s.met.observeQuery(reqStart, true, false)
@@ -509,10 +555,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{
 		Paths:         make([]PathJSON, len(paths)),
 		Micros:        time.Since(start).Microseconds(),
+		Epoch:         ep.seq,
 		TimeoutMicros: s.timeout.Microseconds(),
 		Truncated:     truncated,
 		Degraded:      degraded,
 		Stats:         p.opt.Stats,
+	}
+	if ep.ix != nil {
+		resp.Fingerprint = fmt.Sprintf("%016x", ep.ix.Fingerprint())
 	}
 	for i, path := range paths {
 		resp.Paths[i] = PathJSON{Nodes: path.Nodes, Length: path.Length}
@@ -555,6 +605,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.met.observeBatch(reqStart, true, 0)
 		return
 	}
+	ep := s.snapshot()
 	queries := make([]kpj.BatchQuery, len(items))
 	resolveErr := make([]error, len(items))
 	for i, it := range items {
@@ -567,7 +618,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if it.SourceCategory != "" {
-			nodes, err := s.g.Category(it.SourceCategory)
+			nodes, err := ep.g.Category(it.SourceCategory)
 			if err != nil {
 				resolveErr[i] = fmt.Errorf("unknown sourceCategory %q", it.SourceCategory)
 				continue
@@ -575,7 +626,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			q.Sources = nodes
 		}
 		if it.Category != "" {
-			nodes, err := s.g.Category(it.Category)
+			nodes, err := ep.g.Category(it.Category)
 			if err != nil {
 				resolveErr[i] = fmt.Errorf("unknown category %q", it.Category)
 				continue
@@ -588,8 +639,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Batches parallelize across queries (one worker per core); stacking
 	// intra-query parallelism on top would oversubscribe, so it stays off.
-	results := s.g.BatchContext(ctx, queries, 0, &kpj.Options{
-		Index: s.index(), Budget: s.budget, BoundsCache: s.cache})
+	results := ep.g.BatchContext(ctx, queries, 0, &kpj.Options{
+		Index: ep.ix, Budget: s.budget, BoundsCache: s.cache})
 	out := make([]BatchResponseItem, len(items))
 	var truncatedItems int64
 	for i := range items {

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"kpj"
+)
+
+// This file is the live-update endpoint: POST /update accepts a
+// kpj.Delta as JSON, applies it to the serving epoch — incrementally
+// repairing the landmark index when one is loaded — and atomically
+// publishes the new (graph, index) generation. In-flight queries finish
+// on the epoch they snapshotted; a failed or invalid delta leaves the
+// serving epoch untouched. Cached per-category bound tables are migrated
+// across the epoch bump: only the categories the delta actually touched
+// are invalidated, the rest of the LRU survives warm.
+//
+// Updates are serialized by the epoch mutex, shed with 503 while the
+// server drains, and guarded by their own circuit breaker (WithBreaker):
+// after `threshold` consecutive internal apply failures the endpoint
+// admits one probe update at a time and sheds concurrent ones, until
+// `probes` consecutive successes close the breaker again.
+
+// UpdateResponse is the POST /update response body.
+type UpdateResponse struct {
+	// Epoch is the sequence number of the newly published generation.
+	Epoch uint64 `json:"epoch"`
+	// Fingerprint identifies the new index generation (omitted when the
+	// server runs unindexed).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Nodes and Edges describe the new graph.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// RepairedTables counts the landmark tables recomputed incrementally
+	// (0 when no index is loaded or the delta damaged nothing).
+	RepairedTables int `json:"repairedTables"`
+	// FullRebuild reports that damage exceeded the repair threshold and
+	// every table was recomputed.
+	FullRebuild bool `json:"fullRebuild,omitempty"`
+	// CacheMigrated and CacheDropped count bound-table cache entries that
+	// survived the epoch bump versus ones invalidated by it.
+	CacheMigrated int   `json:"cacheMigrated"`
+	CacheDropped  int   `json:"cacheDropped"`
+	Micros        int64 `json:"micros"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.met.observeShed()
+		return
+	}
+	var d kpj.Delta
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		s.met.observeUpdate(false)
+		return
+	}
+	if d.Empty() {
+		writeError(w, http.StatusBadRequest, "empty delta")
+		s.met.observeUpdate(false)
+		return
+	}
+	if s.updateBr.degraded() {
+		// Half-open: one update at a time probes the apply path; the rest
+		// are shed so a persistent fault cannot stack mutation attempts.
+		if !s.updateProbe.CompareAndSwap(false, true) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "update breaker open")
+			s.met.observeShed()
+			return
+		}
+		defer s.updateProbe.Store(false)
+	}
+
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	ep := s.snapshot()
+	next, resp, err := s.applyDelta(ep, &d)
+	if err != nil {
+		if errors.Is(err, kpj.ErrBadDelta) {
+			// A client mistake, not an apply-path fault: the breaker only
+			// counts internal failures.
+			writeError(w, http.StatusBadRequest, "%v", err)
+			s.met.observeUpdate(false)
+			return
+		}
+		if s.updateBr.record(false) {
+			s.logf("server: update circuit breaker opened after: %v", err)
+			s.met.observeTrip()
+		}
+		writeError(w, http.StatusInternalServerError, "update failed, epoch %d kept: %v", ep.seq, err)
+		s.met.observeUpdate(false)
+		return
+	}
+	s.epoch.Store(next)
+	s.updateBr.record(true)
+	resp.Micros = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+	s.met.observeUpdate(true)
+	s.logf("server: epoch %d -> %d: %d delta ops, %d tables repaired, cache %d migrated / %d dropped",
+		ep.seq, next.seq, d.Ops(), resp.RepairedTables, resp.CacheMigrated, resp.CacheDropped)
+}
+
+// applyDelta derives the successor epoch for d without publishing it.
+// Called with the update mutex held; on error the current epoch is
+// returned unchanged by the caller.
+func (s *Server) applyDelta(ep *epochState, d *kpj.Delta) (*epochState, *UpdateResponse, error) {
+	resp := &UpdateResponse{Epoch: ep.seq + 1}
+	var next *epochState
+	if ep.ix != nil {
+		app, err := ep.ix.Apply(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		next = &epochState{g: app.Graph, ix: app.Index, seq: ep.seq + 1}
+		resp.RepairedTables = app.Stats.Repaired()
+		resp.FullRebuild = app.Stats.FullRebuild
+		resp.Fingerprint = fmt.Sprintf("%016x", app.Index.Fingerprint())
+		resp.CacheMigrated, resp.CacheDropped = app.RekeyBounds(s.cache)
+	} else {
+		ng, err := ep.g.WithDelta(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		next = &epochState{g: ng, seq: ep.seq + 1}
+	}
+	resp.Nodes = next.g.NumNodes()
+	resp.Edges = next.g.NumEdges()
+	return next, resp, nil
+}
+
+// Epoch reports the current serving generation's sequence number.
+func (s *Server) Epoch() uint64 { return s.snapshot().seq }

@@ -14,14 +14,23 @@
 //
 // Endpoints:
 //
-//	GET  /healthz     router + per-replica states and probed breakers
+//	GET  /healthz     router + per-replica states, probed breakers, fleet epoch
 //	GET  /readyz      200 while at least one replica is routable
 //	GET  /query       routed with affinity, hedging, and failover
 //	POST /batch       routed (body buffered so failover can replay it)
+//	POST /update      fanned to every routable replica with epoch fencing
 //	GET  /categories  routed to any up replica
 //
+// POST /update fans the delta to every routable replica, fenced on the
+// fleet's agreed (epoch, fingerprint): a replica that fails, conflicts,
+// or diverges is marked down and resynced — delta-tail replay when the
+// retained window (-updatetail) covers its epoch, full snapshot transfer
+// from a caught-up peer otherwise — and readmitted only once a probe
+// observes it at the fleet generation.
+//
 // Responses carry X-Kpj-Replica naming the backend that answered, with
-// X-Kpj-Degraded and Retry-After passed through from it unchanged.
+// X-Kpj-Degraded, Retry-After, X-Kpj-Epoch, and X-Kpj-Fingerprint passed
+// through from it unchanged.
 // Router-originated failures are typed JSON errors ({"error","kind"} +
 // X-Kpj-Error-Kind), never untyped 5xx. -hedgeafter 0 adapts the hedge
 // threshold to observed latency; a fixed duration pins it.
@@ -56,10 +65,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "probe-jitter seed")
 	metrics := flag.Bool("metrics", false, "expose GET /metrics (Prometheus) and /debug/vars")
 	drain := flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+	updateTail := flag.Int("updatetail", 64, "accepted deltas retained for replica resync catch-up")
+	maxUpdateBytes := flag.Int64("maxupdatebytes", 16<<20, "POST /update body cap in bytes")
 	flag.Parse()
 
 	if err := run(*replicas, *addr, *probeInterval, *probeTimeout, *downAfter, *hedgeAfter,
-		*maxHedge, *maxAttempts, *retryBudget, *reqTimeout, *seed, *metrics, *drain); err != nil {
+		*maxHedge, *maxAttempts, *retryBudget, *reqTimeout, *seed, *metrics, *drain,
+		*updateTail, *maxUpdateBytes); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjrouter: %v\n", err)
 		os.Exit(1)
 	}
@@ -67,7 +79,7 @@ func main() {
 
 func run(replicas, addr string, probeInterval, probeTimeout time.Duration, downAfter int,
 	hedgeAfter, maxHedge time.Duration, maxAttempts, retryBudget int, reqTimeout time.Duration,
-	seed int64, metrics bool, drain time.Duration) error {
+	seed int64, metrics bool, drain time.Duration, updateTail int, maxUpdateBytes int64) error {
 	cfg := router.Config{
 		Replicas:       parseReplicas(replicas),
 		ProbeInterval:  probeInterval,
@@ -79,6 +91,8 @@ func run(replicas, addr string, probeInterval, probeTimeout time.Duration, downA
 		RetryBudget:    retryBudget,
 		RequestTimeout: reqTimeout,
 		Seed:           seed,
+		UpdateTail:     updateTail,
+		MaxUpdateBytes: maxUpdateBytes,
 	}
 	if metrics {
 		cfg.Metrics = kpj.NewMetricsRegistry()

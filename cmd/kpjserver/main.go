@@ -37,6 +37,15 @@
 // entries the delta touched are invalidated. A failed update keeps the
 // old epoch serving. Updates share the -breaker setting via a dedicated
 // update breaker.
+//
+// -wal DIR makes accepted updates durable: each delta is appended to a
+// CRC-framed log and fsynced before its epoch is published, the serving
+// state is checkpointed (and the log truncated) every -checkpoint-every
+// epochs, and startup recovers from the newest checkpoint plus log
+// replay — /readyz answers 503 "recovering" until the recovered chain's
+// fingerprints verify against the durably recorded ones. Update bodies
+// above -maxupdatebytes are shed with a typed 413; every query and
+// update response carries X-Kpj-Epoch.
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 
 	"kpj"
 	"kpj/internal/server"
+	"kpj/internal/wal"
 )
 
 func main() {
@@ -74,11 +84,14 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
 	breaker := flag.Int("breaker", 0, "consecutive internal failures per algorithm before degrading it to serial cache-bypassed execution (0 = disabled)")
 	breakerProbes := flag.Int("breakerprobes", 2, "consecutive clean degraded queries before leaving degraded mode")
+	walDir := flag.String("wal", "", "write-ahead log directory: POST /update deltas are fsynced here before they are served, and startup recovers the chain from the newest checkpoint plus log replay")
+	checkpointEvery := flag.Int("checkpoint-every", 64, "with -wal, snapshot the serving state and truncate the log every N epochs (0 = never)")
+	maxUpdateBytes := flag.Int64("maxupdatebytes", 16<<20, "POST /update body cap in bytes; oversized deltas get 413")
 	flag.Parse()
 
 	if err := run(*graphPath, *flatPath, *useMmap, *poisPath, *indexPath, *landmarks, *seed, *addr, *maxK,
 		*timeout, *budget, *maxInFlight, *parallelism, *cacheSize, *drain, *metrics, *pprofOn,
-		*breaker, *breakerProbes); err != nil {
+		*breaker, *breakerProbes, *walDir, *checkpointEvery, *maxUpdateBytes); err != nil {
 		fmt.Fprintf(os.Stderr, "kpjserver: %v\n", err)
 		os.Exit(1)
 	}
@@ -86,7 +99,8 @@ func main() {
 
 func run(graphPath, flatPath string, useMmap bool, poisPath, indexPath string, landmarks int, seed int64, addr string, maxK int,
 	timeout time.Duration, budget int64, maxInFlight, parallelism, cacheSize int, drain time.Duration,
-	metrics, pprofOn bool, breakerThreshold, breakerProbes int) error {
+	metrics, pprofOn bool, breakerThreshold, breakerProbes int,
+	walDir string, checkpointEvery int, maxUpdateBytes int64) error {
 	var g *kpj.Graph
 	var ix *kpj.Index
 	switch {
@@ -167,6 +181,32 @@ func run(graphPath, flatPath string, useMmap bool, poisPath, indexPath string, l
 		server.WithMaxInFlight(maxInFlight),
 		server.WithParallelism(parallelism),
 		server.WithBoundsCacheSize(cacheSize),
+		server.WithMaxUpdateBytes(maxUpdateBytes),
+	}
+
+	// Durability: open the WAL before the server exists. When a checkpoint
+	// is present the serving state starts from it — the seed files only
+	// anchor epoch 0 of a chain the checkpoint has already advanced past.
+	var wlog *wal.Log
+	var rec *wal.Recovery
+	if walDir != "" {
+		var err error
+		wlog, rec, err = wal.Open(walDir)
+		if err != nil {
+			return fmt.Errorf("open wal: %w", err)
+		}
+		defer wlog.Close()
+		if rec.CheckpointPath != "" {
+			cg, cix, err := readCheckpoint(rec.CheckpointPath)
+			if err != nil {
+				return fmt.Errorf("load checkpoint: %w", err)
+			}
+			g, ix = cg, cix
+			fmt.Printf("loaded checkpoint %s (epoch %d)\n", rec.CheckpointPath, rec.CheckpointEpoch)
+		}
+		opts = append(opts, server.WithWAL(wlog, checkpointEvery))
+		fmt.Printf("wal %s: %d log records to replay (%d torn bytes dropped)\n",
+			walDir, len(rec.Records), rec.TruncatedBytes)
 	}
 	if metrics {
 		reg := kpj.NewMetricsRegistry()
@@ -208,6 +248,17 @@ func run(graphPath, flatPath string, useMmap bool, poisPath, indexPath string, l
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if wlog != nil {
+		// Replay the log suffix with the listener already up: /readyz
+		// answers 503 "recovering (i/n records)" while this runs and flips
+		// ready only once the recovered chain's fingerprints have been
+		// verified against the durably recorded ones. A replica that cannot
+		// prove its chain must not serve: recovery failure is fatal.
+		if err := app.Recover(rec); err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		fmt.Printf("recovered to epoch %d\n", app.Epoch())
+	}
 	select {
 	case err := <-errc:
 		return err
@@ -219,6 +270,17 @@ func run(graphPath, flatPath string, useMmap bool, poisPath, indexPath string, l
 		}
 		return nil
 	}
+}
+
+// readCheckpoint loads a WAL checkpoint (flat format, fully verified)
+// as the serving state recovery starts from.
+func readCheckpoint(path string) (*kpj.Graph, *kpj.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return kpj.ReadFlat(f)
 }
 
 // drainAndShutdown bounds graceful shutdown by -draintimeout: readiness

@@ -29,6 +29,24 @@ func WriteFlatFile(path string, g *Graph, ix *Index) error {
 	return flatindex.WriteFile(path, g.g, ix.ix)
 }
 
+// ReadFlat decodes a flat payload from r with full verification
+// (checksum plus adjacency validation) — the in-memory counterpart of
+// OpenFlat for snapshots arriving over the wire (WAL checkpoints,
+// replica resync transfers) rather than from a file. The returned index
+// is nil when the payload carries none.
+func ReadFlat(r io.Reader) (*Graph, *Index, error) {
+	l, err := flatindex.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := newGraph(l.G)
+	var ix *Index
+	if l.Index != nil {
+		ix = &Index{ix: l.Index}
+	}
+	return g, ix, nil
+}
+
 // OpenFlat loads a flat file written by WriteFlatFile. With mmap true on
 // a supporting platform (Linux) the file is mapped and the graph aliases
 // it in place — O(1) startup with pages faulting in on demand, at the

@@ -74,6 +74,18 @@ const (
 	// the operation is validated — the mid-apply site. An injected error
 	// fails the whole apply; the caller's epoch keeps the old graph.
 	GraphApply Point = "graph.apply"
+	// WALAppend fires in wal.Log.Append before the record frame is
+	// written. An injected error fails the update with the old epoch
+	// kept — the moment a disk write would fail.
+	WALAppend Point = "wal.append"
+	// WALFsync fires in wal.Log.Append after the frame write but before
+	// fsync, and before every checkpoint fsync — the moment a crash or
+	// full disk would tear the tail. An injected error rolls the segment
+	// back and fails the update or checkpoint.
+	WALFsync Point = "wal.fsync"
+	// WALReplay fires once per record decoded during wal.Open recovery.
+	// An injected error aborts recovery; the server stays not-ready.
+	WALReplay Point = "wal.replay"
 )
 
 // Points lists every fault point compiled into the tree, in a fixed
@@ -82,6 +94,7 @@ var Points = []Point{
 	GraphRead, IndexLoad, IndexBuild, PoolWorker, SubspaceSearch,
 	SPTGrow, CacheInsert, ServerHandler, BatchWorker,
 	RouterProxy, RouterProbe, GraphApply,
+	WALAppend, WALFsync, WALReplay,
 }
 
 // QueryPoints are the points hit during query execution (as opposed to

@@ -213,7 +213,12 @@ func TestRouterHedgeSlowReplica(t *testing.T) {
 		c.HedgeAfter = hedgeAfter
 		c.Metrics = reg
 	})
+	// Both replicas must be routable before the warm query discovers the
+	// affinity home — a home pinned while only one replica was probed up
+	// moves once the ring fills in, and stalling the wrong replica makes
+	// the hedge assertion vacuous.
 	waitReady(t, rt)
+	waitAllHealthy(t, rt, fixtures)
 
 	// Discover the affinity home for this query, then stall only it.
 	rec, body := routerGet(t, rt, "/query?source=0&category=hotel&k=3")

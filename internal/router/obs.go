@@ -11,16 +11,20 @@ import (
 // the hot path calls them unconditionally, matching the discipline of
 // internal/obs and the server's kpj_http_* set.
 type routerMetrics struct {
-	reqs      map[string]*obs.Counter
-	errs      map[string]*obs.Counter
-	hedges    *obs.Counter
-	hedgeWins *obs.Counter
-	failovers *obs.Counter
-	denied    *obs.Counter
-	probes    *obs.Counter
-	probeErrs *obs.Counter
-	toState   map[State]*obs.Counter
-	latencyUS *obs.Histogram
+	reqs       map[string]*obs.Counter
+	errs       map[string]*obs.Counter
+	hedges     *obs.Counter
+	hedgeWins  *obs.Counter
+	failovers  *obs.Counter
+	denied     *obs.Counter
+	probes     *obs.Counter
+	probeErrs  *obs.Counter
+	toState    map[State]*obs.Counter
+	updates    *obs.Counter
+	updateErrs *obs.Counter
+	resyncs    *obs.Counter
+	resyncErrs *obs.Counter
+	latencyUS  *obs.Histogram
 }
 
 func newRouterMetrics(reg *obs.Registry, rt *Router) *routerMetrics {
@@ -49,6 +53,10 @@ func newRouterMetrics(reg *obs.Registry, rt *Router) *routerMetrics {
 			StateDegraded: reg.Counter(`kpj_router_transitions_total{to="degraded"}`, "replica transitions into degraded"),
 			StateDown:     reg.Counter(`kpj_router_transitions_total{to="down"}`, "replica transitions into down"),
 		},
+		updates:    reg.Counter(`kpj_router_updates_total{result="ok"}`, "update fan-outs that advanced the fleet epoch"),
+		updateErrs: reg.Counter(`kpj_router_updates_total{result="error"}`, "update fan-outs rejected or applied by no replica"),
+		resyncs:    reg.Counter(`kpj_router_resyncs_total{result="ok"}`, "replica resyncs that reached the fleet generation"),
+		resyncErrs: reg.Counter(`kpj_router_resyncs_total{result="error"}`, "replica resync attempts that failed (retried by the probe loop)"),
 		// Same layout as kpj_http_request_micros so replica and router
 		// latency histograms line up on a shared dashboard axis.
 		latencyUS: reg.Histogram("kpj_router_request_micros", "routed request latency in microseconds",
@@ -125,4 +133,26 @@ func (m *routerMetrics) observeTransition(to State) {
 		return
 	}
 	m.toState[to].Inc()
+}
+
+func (m *routerMetrics) observeUpdateFan(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.updates.Inc()
+	} else {
+		m.updateErrs.Inc()
+	}
+}
+
+func (m *routerMetrics) observeResync(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.resyncs.Inc()
+	} else {
+		m.resyncErrs.Inc()
+	}
 }

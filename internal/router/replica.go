@@ -52,6 +52,10 @@ type replica struct {
 
 	state atomic.Int32 // State; replicas start Down until the first probe
 	fp    atomic.Uint64
+	epoch atomic.Uint64 // last (epoch, fp) this replica reported on /readyz
+	// resyncing guards the one-background-resync-at-a-time invariant
+	// (update.go); probes of a stale replica retrigger rather than stack.
+	resyncing atomic.Bool
 
 	mu       sync.Mutex
 	breakers map[string]bool // algorithm name -> breaker open
@@ -122,13 +126,35 @@ func (rt *Router) probe(ctx context.Context, rp *replica) {
 	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
 	defer cancel()
 
-	ready, fp, err := rt.fetchReadyz(pctx, rp)
+	// The fleet view is snapshotted BEFORE the readyz fetch: the replica's
+	// answer is at least as fresh as this view, so comparing against it
+	// cannot spuriously fence a current replica just because an update
+	// fan-out advanced the fleet while the probe was in flight.
+	fleet := rt.fleetSnapshot()
+	ready, epoch, fp, err := rt.fetchReadyz(pctx, rp)
 	if err != nil {
 		rt.noteFailure(rp, err)
 		return
 	}
+	rp.epoch.Store(epoch)
+	rp.fp.Store(fp)
 	if !ready {
 		rt.noteFailure(rp, fmt.Errorf("not ready"))
+		return
+	}
+	// Epoch gating: adopt whatever is ahead of the fleet view, and refuse
+	// to (re)admit a replica that is behind it or diverged at the same
+	// epoch — it is fenced down and resynced instead, so a replica can
+	// never serve a stale epoch after readmission. Divergence fencing
+	// arms once the fleet has advanced past epoch 0: the zero fleetState
+	// doubles as "no fleet established yet", and epoch-0 divergence
+	// (replicas deployed with different indexes) is caught by the first
+	// update fan-out's fingerprint fence instead.
+	rt.adoptFleet(epoch, fp)
+	if epoch < fleet.epoch || (epoch == fleet.epoch && fleet.epoch > 0 && fp != fleet.fp) {
+		rt.met.observeProbe(false)
+		rt.setState(rp, StateDown, fmt.Errorf("stale: at %d/%016x, fleet at %s", epoch, fp, fleet))
+		rt.scheduleResync(rp)
 		return
 	}
 	breakers, err := rt.fetchBreakers(pctx, rp)
@@ -142,6 +168,7 @@ func (rt *Router) probe(ctx context.Context, rp *replica) {
 // readyzBody and healthzBody mirror the fields internal/server emits.
 type readyzBody struct {
 	Ready       bool   `json:"ready"`
+	Epoch       uint64 `json:"epoch"`
 	Fingerprint string `json:"fingerprint"`
 }
 
@@ -150,14 +177,14 @@ type healthzBody struct {
 	Fingerprint string            `json:"fingerprint"`
 }
 
-func (rt *Router) fetchReadyz(ctx context.Context, rp *replica) (ready bool, fp uint64, err error) {
+func (rt *Router) fetchReadyz(ctx context.Context, rp *replica) (ready bool, epoch, fp uint64, err error) {
 	var body readyzBody
 	status, err := rt.getJSON(ctx, rp, "/readyz", &body)
 	if err != nil {
-		return false, 0, err
+		return false, 0, 0, err
 	}
 	fp, _ = strconv.ParseUint(body.Fingerprint, 16, 64)
-	return status == http.StatusOK && body.Ready, fp, nil
+	return status == http.StatusOK && body.Ready, body.Epoch, fp, nil
 }
 
 func (rt *Router) fetchBreakers(ctx context.Context, rp *replica) (map[string]bool, error) {

@@ -72,6 +72,9 @@ type Config struct {
 	RetryBudget    int           // retry token bucket capacity; default 64
 	RequestTimeout time.Duration // per proxied attempt; default 30s, < 0 disables
 
+	UpdateTail     int   // accepted deltas retained for resync catch-up; default 64
+	MaxUpdateBytes int64 // POST /update body cap; default 16MB
+
 	Seed      int64             // probe-jitter seed; fixed seed => reproducible schedule
 	Clock     Clock             // default: wall clock
 	Transport http.RoundTripper // default: a private http.Transport
@@ -102,6 +105,15 @@ type Router struct {
 	fp     atomic.Uint64 // latest index fingerprint reported by any ready replica
 	lat    latencyTracker
 	budget atomic.Int64 // retry tokens × tokenScale
+
+	// Replicated-update state (update.go): updateMu serializes fan-outs,
+	// fleet is the monotonically adopted (epoch, fingerprint) the fleet
+	// agrees on, tail retains recent deltas for resync catch-up, and
+	// resyncWG tracks background resync goroutines for Close.
+	updateMu sync.Mutex
+	fleet    atomic.Pointer[fleetState]
+	tail     deltaTail
+	resyncWG sync.WaitGroup
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -150,6 +162,12 @@ func New(cfg Config) (*Router, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.UpdateTail <= 0 {
+		cfg.UpdateTail = 64
+	}
+	if cfg.MaxUpdateBytes <= 0 {
+		cfg.MaxUpdateBytes = 16 << 20
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
@@ -171,6 +189,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
 	rt.budget.Store(int64(cfg.RetryBudget) * tokenScale)
+	rt.tail.cap = cfg.UpdateTail
 
 	seen := map[string]bool{}
 	reps := make([]*replica, 0, len(cfg.Replicas))
@@ -196,6 +215,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /batch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /update", rt.handleUpdate)
 	rt.mux.HandleFunc("GET /categories", rt.handleCategories)
 	if cfg.Metrics != nil {
 		rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -295,6 +315,7 @@ func (rt *Router) Close() {
 	for _, rp := range rt.topo.Load().reps {
 		<-rp.done
 	}
+	rt.resyncWG.Wait()
 	if t, ok := rt.client.Transport.(*http.Transport); ok {
 		t.CloseIdleConnections()
 	}
@@ -320,6 +341,10 @@ const (
 	kindCanceled    = "canceled"    // the client went away mid-request
 	kindInternal    = "internal"    // router bug (recovered panic)
 	kindBadRequest  = "bad-request" // malformed before any replica was tried
+	// kindEpochConflict: the fleet epoch advanced past the fence this
+	// update was sent under (or this router's view was stale); retryable
+	// against the X-Kpj-Epoch the response carries.
+	kindEpochConflict = "epoch-conflict"
 )
 
 type errorBody struct {
@@ -444,6 +469,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{
 		"status":      status,
 		"replicas":    replicas,
+		"epoch":       rt.fleetSnapshot().epoch,
 		"fingerprint": fmt.Sprintf("%016x", rt.fp.Load()),
 		"hedgeMicros": rt.hedgeDelay().Microseconds(),
 	}
@@ -632,14 +658,15 @@ func (rt *Router) attempt(ctx context.Context, rp *replica, order int, method, p
 }
 
 // writeResult renders an attempt outcome: usable upstream answers pass
-// through with X-Kpj-Degraded and Retry-After preserved verbatim plus an
+// through with X-Kpj-Degraded, Retry-After, and the generation headers
+// (X-Kpj-Epoch, X-Kpj-Fingerprint) preserved verbatim plus an
 // X-Kpj-Replica attribution; everything else becomes a typed error.
 func (rt *Router) writeResult(w http.ResponseWriter, res attemptResult) {
 	if res.usable() {
 		if ct := res.header.Get("Content-Type"); ct != "" {
 			w.Header().Set("Content-Type", ct)
 		}
-		for _, h := range []string{"X-Kpj-Degraded", "Retry-After"} {
+		for _, h := range []string{"X-Kpj-Degraded", "Retry-After", "X-Kpj-Epoch", "X-Kpj-Fingerprint"} {
 			if v := res.header.Get(h); v != "" {
 				w.Header().Set(h, v)
 			}

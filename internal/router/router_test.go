@@ -300,7 +300,11 @@ func TestRouterServesWithAffinity(t *testing.T) {
 	rt := newTestRouter(t, fixtures, func(c *Config) {
 		c.HedgeAfter = time.Hour // a stray hedge win would break the affinity assertion
 	})
+	// All replicas must be routable before the first query pins the
+	// affinity home: readyz alone means >= 1 probed up, and a home chosen
+	// from a partial candidate set moves once the ring fills in.
 	waitReady(t, rt)
+	waitAllHealthy(t, rt, fixtures)
 
 	want := oracle(t, 0, "hotel", 3)
 	var home string
@@ -392,6 +396,8 @@ func TestHeaderPropagation(t *testing.T) {
 		case "/query":
 			w.Header().Set("X-Kpj-Degraded", "1")
 			w.Header().Set("Retry-After", "7")
+			w.Header().Set("X-Kpj-Epoch", "3")
+			w.Header().Set("X-Kpj-Fingerprint", "00000000000000aa")
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprint(w, `{"paths":[],"micros":1,"degraded":true}`)
 		default:
@@ -423,6 +429,12 @@ func TestHeaderPropagation(t *testing.T) {
 	}
 	if got := rec.Header().Get("X-Kpj-Replica"); got != "stub" {
 		t.Fatalf("X-Kpj-Replica = %q, want stub", got)
+	}
+	if got := rec.Header().Get("X-Kpj-Epoch"); got != "3" {
+		t.Fatalf("X-Kpj-Epoch = %q, want 3 (propagated unchanged)", got)
+	}
+	if got := rec.Header().Get("X-Kpj-Fingerprint"); got != "00000000000000aa" {
+		t.Fatalf("X-Kpj-Fingerprint = %q, want propagated unchanged", got)
 	}
 }
 

@@ -1,0 +1,453 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"kpj/internal/fault"
+)
+
+// This file is the router's replicated-update layer. POST /update on the
+// router fans one delta to every routable replica, fenced on the fleet's
+// current (epoch, fingerprint) so a replica can only apply the delta to
+// exactly the generation the fleet agrees on. Replicas that fail, shed,
+// conflict, or produce a divergent result are marked down on the spot
+// and brought back through resync: replay the retained delta tail when
+// it still covers their epoch, otherwise transfer a full snapshot from
+// a caught-up replica. A downed replica is readmitted only when a probe
+// observes it at the fleet's exact (epoch, fingerprint) — a replica can
+// never serve a stale epoch after readmission.
+//
+// The fleet state itself is adopted monotonically: probes and update
+// acks only ever advance it (ties keep the incumbent), so a restarted
+// router re-learns the fleet epoch from its replicas and a stale applier
+// can never drag the fleet backwards.
+
+// fleetState is the router's view of the generation the fleet agrees
+// on. fp is the index fingerprint (0 when the fleet runs unindexed).
+type fleetState struct {
+	epoch uint64
+	fp    uint64
+}
+
+func (f fleetState) String() string {
+	return fmt.Sprintf("%d/%016x", f.epoch, f.fp)
+}
+
+// fleetSnapshot returns the current fleet state (zero before the first
+// probe or update has established one).
+func (rt *Router) fleetSnapshot() fleetState {
+	if f := rt.fleet.Load(); f != nil {
+		return *f
+	}
+	return fleetState{}
+}
+
+// adoptFleet advances the fleet state to (epoch, fp) if that is ahead of
+// the current view. Ties keep the incumbent: when two replicas disagree
+// at the same epoch, the first one adopted defines the fleet and the
+// other is caught as diverged by probe gating.
+func (rt *Router) adoptFleet(epoch, fp uint64) {
+	for {
+		cur := rt.fleet.Load()
+		if cur != nil && epoch <= cur.epoch {
+			return
+		}
+		if rt.fleet.CompareAndSwap(cur, &fleetState{epoch: epoch, fp: fp}) {
+			return
+		}
+	}
+}
+
+// tailEntry is one accepted delta retained for log-suffix catch-up: the
+// fence it applied under, the generation it produced, and the raw body.
+type tailEntry struct {
+	from fleetState
+	to   fleetState
+	body []byte
+}
+
+// deltaTail is a bounded ring of the most recent accepted deltas.
+// Entries are appended in fleet order (under the router's update mutex),
+// so the retained window is always one contiguous chain suffix.
+type deltaTail struct {
+	mu      sync.Mutex
+	cap     int
+	entries []tailEntry
+}
+
+func (t *deltaTail) append(e tailEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = append(t.entries, e)
+	if len(t.entries) > t.cap {
+		t.entries = t.entries[len(t.entries)-t.cap:]
+	}
+}
+
+// suffix returns the chain of retained deltas leading from (epoch, fp)
+// to the newest entry, or ok=false when the tail no longer reaches that
+// far back (the replica must take a snapshot instead). An empty slice
+// with ok=true means the state is already current.
+func (t *deltaTail) suffix(epoch, fp uint64) ([]tailEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.entries); n > 0 && t.entries[n-1].to == (fleetState{epoch: epoch, fp: fp}) {
+		return nil, true
+	}
+	for i, e := range t.entries {
+		if e.from.epoch == epoch && e.from.fp == fp {
+			out := make([]tailEntry, len(t.entries)-i)
+			copy(out, t.entries[i:])
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// updateOutcome is one replica's verdict on a fanned-out delta.
+type updateOutcome struct {
+	rp       *replica
+	status   int
+	epoch    uint64 // replica's generation from the response headers
+	fp       uint64
+	applied  bool
+	conflict bool
+	err      error
+	body     []byte
+}
+
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxUpdateBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeTypedError(w, http.StatusRequestEntityTooLarge, kindBadRequest,
+				"delta exceeds %d bytes", rt.cfg.MaxUpdateBytes)
+			return
+		}
+		writeTypedError(w, http.StatusBadRequest, kindBadRequest, "read body: %v", err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		writeTypedError(w, http.StatusBadRequest, kindBadRequest, "empty body")
+		return
+	}
+
+	// One update at a time: the fence each fan-out carries is the fleet
+	// state the previous fan-out established, so updates extend one chain.
+	rt.updateMu.Lock()
+	defer rt.updateMu.Unlock()
+
+	fence := rt.fleetSnapshot()
+	topo := rt.topo.Load()
+	var targets []*replica
+	for _, rp := range topo.reps {
+		if rp.State() != StateDown {
+			targets = append(targets, rp)
+		}
+	}
+	if len(targets) == 0 {
+		writeTypedError(w, http.StatusServiceUnavailable, kindUnavailable, "no routable replicas")
+		rt.met.observeUpdateFan(false)
+		return
+	}
+
+	results := make(chan updateOutcome, len(targets))
+	for _, rp := range targets {
+		rp := rp
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					results <- updateOutcome{rp: rp, err: fmt.Errorf("update panic: %v", p)}
+				}
+			}()
+			results <- rt.fanoutOne(r.Context(), rp, body, fence)
+		}()
+	}
+	outs := make([]updateOutcome, 0, len(targets))
+	for range targets {
+		outs = append(outs, <-results)
+	}
+
+	// The first applier defines the canonical successor generation; every
+	// replica applied the same delta under the same fence, so a different
+	// answer is divergence, not a race.
+	var canonical *updateOutcome
+	for i := range outs {
+		if outs[i].applied {
+			canonical = &outs[i]
+			break
+		}
+	}
+	if canonical == nil {
+		// Nothing applied. If a conflict shows the fleet is ahead of our
+		// fence (e.g. this router restarted with stale state), adopt it and
+		// tell the caller to retry against the new generation.
+		for _, o := range outs {
+			if o.conflict && o.epoch > fence.epoch {
+				rt.adoptFleet(o.epoch, o.fp)
+				w.Header().Set("X-Kpj-Epoch", strconv.FormatUint(o.epoch, 10))
+				writeTypedError(w, http.StatusConflict, kindEpochConflict,
+					"fleet advanced to epoch %d; retry", o.epoch)
+				rt.met.observeUpdateFan(false)
+				return
+			}
+		}
+		last := outs[len(outs)-1]
+		writeTypedError(w, http.StatusServiceUnavailable, kindUnavailable,
+			"no replica applied the update: status %d err %v", last.status, last.err)
+		rt.met.observeUpdateFan(false)
+		return
+	}
+	next := fleetState{epoch: canonical.epoch, fp: canonical.fp}
+	rt.adoptFleet(next.epoch, next.fp)
+	rt.tail.append(tailEntry{from: fence, to: next, body: body})
+
+	applied := make([]string, 0, len(outs))
+	var resyncing []string
+	for i := range outs {
+		o := &outs[i]
+		switch {
+		case o.applied && o.epoch == next.epoch && o.fp == next.fp:
+			applied = append(applied, o.rp.name)
+		default:
+			// Failed, conflicted, or diverged: fence the replica out of the
+			// serving set immediately and bring it back through resync —
+			// readmission happens only once a probe sees it at the fleet
+			// generation.
+			reason := fmt.Errorf("update fan-out: status %d epoch %d/%016x (fleet %s)",
+				o.status, o.epoch, o.fp, next)
+			if o.err != nil {
+				reason = fmt.Errorf("update fan-out: status %d epoch %d/%016x (fleet %s): %w",
+					o.status, o.epoch, o.fp, next, o.err)
+			}
+			rt.setState(o.rp, StateDown, reason)
+			rt.scheduleResync(o.rp)
+			resyncing = append(resyncing, o.rp.name)
+		}
+	}
+
+	w.Header().Set("X-Kpj-Epoch", strconv.FormatUint(next.epoch, 10))
+	w.Header().Set("X-Kpj-Replica", canonical.rp.name)
+	w.Header().Set("Content-Type", "application/json")
+	resp := map[string]any{"epoch": next.epoch, "applied": applied}
+	if next.fp != 0 {
+		resp["fingerprint"] = fmt.Sprintf("%016x", next.fp)
+	}
+	if len(resyncing) > 0 {
+		resp["resyncing"] = resyncing
+	}
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(resp)
+	rt.met.observeUpdateFan(true)
+}
+
+// fanoutOne delivers one delta to one replica, retrying transient
+// failures (connection errors, 5xx, sheds) within the shared retry
+// token budget. Deliberate answers — applied, conflict, client error —
+// are final.
+func (rt *Router) fanoutOne(ctx context.Context, rp *replica, body []byte, fence fleetState) updateOutcome {
+	var out updateOutcome
+	for attempt := 0; ; attempt++ {
+		out = rt.postDelta(ctx, rp, body, fence)
+		if out.err == nil && out.status < 500 {
+			return out
+		}
+		if ctx.Err() != nil || attempt+1 >= rt.cfg.MaxAttempts || !rt.takeToken() {
+			return out
+		}
+		rt.met.observeFailover()
+	}
+}
+
+// postDelta POSTs one fenced update to rp and classifies the answer.
+func (rt *Router) postDelta(ctx context.Context, rp *replica, body []byte, fence fleetState) updateOutcome {
+	out := updateOutcome{rp: rp}
+	if err := fault.Hit(fault.RouterProxy); err != nil {
+		out.err = err
+		return out
+	}
+	if rt.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+		defer cancel()
+	}
+	u := *rp.base
+	u.Path = "/update"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.String(), bytes.NewReader(body))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Kpj-Expect-Epoch", strconv.FormatUint(fence.epoch, 10))
+	if fence.fp != 0 {
+		req.Header.Set("X-Kpj-Expect-Fingerprint", fmt.Sprintf("%016x", fence.fp))
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		out.err = fmt.Errorf("read response: %w", err)
+		return out
+	}
+	out.status, out.body = resp.StatusCode, b
+	out.epoch, _ = strconv.ParseUint(resp.Header.Get("X-Kpj-Epoch"), 10, 64)
+	out.fp, _ = strconv.ParseUint(resp.Header.Get("X-Kpj-Fingerprint"), 16, 64)
+	out.applied = resp.StatusCode == http.StatusOK
+	out.conflict = resp.StatusCode == http.StatusConflict
+	return out
+}
+
+// scheduleResync starts one background resync of rp (no-op if one is
+// already running). A failed attempt is retried by the probe loop: the
+// replica stays down, every probe re-observes it stale and calls back
+// here.
+func (rt *Router) scheduleResync(rp *replica) {
+	if rt.closed.Load() || !rp.resyncing.CompareAndSwap(false, true) {
+		return
+	}
+	rt.resyncWG.Add(1)
+	go func() {
+		defer rt.resyncWG.Done()
+		defer rp.resyncing.Store(false)
+		ok := rt.resyncReplica(rt.ctx, rp)
+		rt.met.observeResync(ok)
+	}()
+}
+
+// resyncReplica brings a downed replica back onto the fleet chain:
+// delta-tail replay when the retained window still covers its epoch,
+// full snapshot transfer from a caught-up peer otherwise. It only moves
+// state — readmission stays with the probe loop, which flips the
+// replica up once it observes the fleet (epoch, fingerprint).
+func (rt *Router) resyncReplica(ctx context.Context, rp *replica) bool {
+	fleet := rt.fleetSnapshot()
+	if fleet == (fleetState{}) {
+		return false
+	}
+	have, fp, err := rt.fetchEpoch(ctx, rp)
+	if err != nil {
+		rt.logf("router: resync %s: cannot read state: %v", rp.name, err)
+		return false
+	}
+	if have > fleet.epoch {
+		rt.adoptFleet(have, fp)
+		return true
+	}
+	if have == fleet.epoch && fp == fleet.fp {
+		return true // already caught up; next probe readmits
+	}
+	if entries, ok := rt.tail.suffix(have, fp); ok {
+		replayed := true
+		for _, e := range entries {
+			out := rt.fanoutOne(ctx, rp, e.body, e.from)
+			if !out.applied || out.epoch != e.to.epoch || out.fp != e.to.fp {
+				rt.logf("router: resync %s: tail replay at epoch %d failed (status %d err %v); falling back to snapshot",
+					rp.name, e.to.epoch, out.status, out.err)
+				replayed = false
+				break
+			}
+		}
+		if replayed {
+			rt.logf("router: resync %s: replayed %d tail deltas to %s", rp.name, len(entries), fleet)
+			return true
+		}
+	}
+	return rt.snapshotResync(ctx, rp, fleet)
+}
+
+// fetchEpoch reads a replica's current (epoch, fingerprint) from
+// /readyz regardless of its readiness — a recovering or draining
+// replica still reports where its chain stands.
+func (rt *Router) fetchEpoch(ctx context.Context, rp *replica) (epoch, fp uint64, err error) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	var body readyzBody
+	if _, err := rt.getJSON(pctx, rp, "/readyz", &body); err != nil {
+		return 0, 0, err
+	}
+	fp, _ = strconv.ParseUint(body.Fingerprint, 16, 64)
+	return body.Epoch, fp, nil
+}
+
+// snapshotResync transfers a full flat snapshot from a caught-up peer
+// onto rp. The peer must be at the fleet generation; the snapshot's own
+// headers name what was actually shipped (it may be ahead if an update
+// lands mid-transfer — still a valid chain state, adopted monotonically).
+func (rt *Router) snapshotResync(ctx context.Context, rp *replica, fleet fleetState) bool {
+	var source *replica
+	for _, peer := range rt.topo.Load().reps {
+		if peer != rp && peer.State() != StateDown &&
+			peer.epoch.Load() == fleet.epoch && peer.fp.Load() == fleet.fp {
+			source = peer
+			break
+		}
+	}
+	if source == nil {
+		rt.logf("router: resync %s: no caught-up peer at %s to snapshot from", rp.name, fleet)
+		return false
+	}
+	if rt.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+		defer cancel()
+	}
+	u := *source.base
+	u.Path = "/snapshot"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.logf("router: resync %s: snapshot from %s: %v", rp.name, source.name, err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rt.logf("router: resync %s: snapshot from %s: status %d", rp.name, source.name, resp.StatusCode)
+		return false
+	}
+	snap, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		rt.logf("router: resync %s: snapshot read: %v", rp.name, err)
+		return false
+	}
+	snapEpoch := resp.Header.Get("X-Kpj-Epoch")
+
+	u = *rp.base
+	u.Path = "/resync"
+	req, err = http.NewRequestWithContext(ctx, http.MethodPost, u.String(), bytes.NewReader(snap))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Kpj-Epoch", snapEpoch)
+	resp2, err := rt.client.Do(req)
+	if err != nil {
+		rt.logf("router: resync %s: post snapshot: %v", rp.name, err)
+		return false
+	}
+	defer resp2.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp2.Body, 1<<20))
+	if resp2.StatusCode != http.StatusOK {
+		rt.logf("router: resync %s: resync rejected: status %d", rp.name, resp2.StatusCode)
+		return false
+	}
+	rt.logf("router: resync %s: snapshot transfer from %s at epoch %s complete (%d bytes)",
+		rp.name, source.name, snapEpoch, len(snap))
+	return true
+}

@@ -48,6 +48,7 @@ type serverMetrics struct {
 	reloadErr *obs.Counter
 	updates   *obs.Counter
 	updateErr *obs.Counter
+	resyncs   *obs.Counter
 	latencyUS *obs.Histogram
 }
 
@@ -68,6 +69,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		reloadErr: reg.Counter(`kpj_http_index_reloads_total{result="error"}`, "index hot-reloads rejected (old index kept)"),
 		updates:   reg.Counter(`kpj_http_updates_total{result="ok"}`, "live updates that published a new epoch"),
 		updateErr: reg.Counter(`kpj_http_updates_total{result="error"}`, "live updates rejected (old epoch kept)"),
+		resyncs:   reg.Counter("kpj_http_resyncs_total", "snapshot resyncs that replaced the serving state"),
 		// 64µs..~67s in 21 half-decade-ish steps: spans interactive
 		// queries through deadline-bound worst cases.
 		latencyUS: reg.Histogram("kpj_http_request_micros", "query/batch request latency in microseconds",
@@ -131,6 +133,13 @@ func (m *serverMetrics) observeUpdate(ok bool) {
 	} else {
 		m.updateErr.Inc()
 	}
+}
+
+func (m *serverMetrics) observeResync() {
+	if m == nil {
+		return
+	}
+	m.resyncs.Inc()
 }
 
 func (m *serverMetrics) observeReload(ok bool) {

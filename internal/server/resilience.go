@@ -113,16 +113,31 @@ func (s *Server) index() *kpj.Index { return s.snapshot().ix }
 // given index. In-flight requests finish on the snapshot they loaded;
 // subsequent requests use ix. The bounds cache needs no flush: it is
 // keyed by index fingerprint, so entries of the old index simply stop
-// being hit and age out.
+// being hit and age out. With a WAL configured the swap is checkpointed
+// before publication; if the checkpoint fails the swap is abandoned
+// (old epoch kept) and logged.
 func (s *Server) SwapIndex(ix *kpj.Index) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
-	s.swapIndexLocked(ix)
+	if err := s.swapIndexLocked(ix); err != nil {
+		s.logf("server: index swap not published: %v", err)
+	}
 }
 
-func (s *Server) swapIndexLocked(ix *kpj.Index) {
+func (s *Server) swapIndexLocked(ix *kpj.Index) error {
 	ep := s.snapshot()
-	s.epoch.Store(&epochState{g: ep.g, ix: ix, seq: ep.seq + 1})
+	next := &epochState{g: ep.g, ix: ix, seq: ep.seq + 1}
+	if s.wal != nil {
+		// A swap is a snapshot-driven transition: the new generation is not
+		// derivable from the logged delta chain, so it must be durably
+		// checkpointed before it becomes observable. Checkpoint failure
+		// keeps the old epoch serving.
+		if err := s.checkpointLocked(next); err != nil {
+			return fmt.Errorf("server: checkpoint for index swap at epoch %d: %w", next.seq, err)
+		}
+	}
+	s.epoch.Store(next)
+	return nil
 }
 
 // ReloadIndex loads a landmark index from path, validates it against the
@@ -148,7 +163,10 @@ func (s *Server) ReloadIndex(path string) error {
 		s.met.observeReload(false)
 		return fmt.Errorf("server: reload index %s: %w", path, err)
 	}
-	s.swapIndexLocked(ix)
+	if err := s.swapIndexLocked(ix); err != nil {
+		s.met.observeReload(false)
+		return err
+	}
 	s.met.observeReload(true)
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"kpj"
+	"kpj/internal/wal"
 )
 
 // epochState is one immutable serving generation: a graph, its (optional)
@@ -121,6 +122,20 @@ type Server struct {
 	// readiness then requires one to still be loaded (SwapIndex(nil)
 	// makes the replica not-ready rather than silently slow).
 	hadIndex bool
+	// wal, when non-nil (WithWAL), is the write-ahead delta log: updates
+	// are appended and fsynced before their epoch is published, and
+	// checkpointEvery controls periodic snapshot+truncate (see
+	// durability.go).
+	wal             *wal.Log
+	checkpointEvery int
+	// recovering gates readiness while the WAL suffix is being replayed;
+	// recovered/recoverTotal expose replay progress on /readyz.
+	recovering   atomic.Bool
+	recovered    atomic.Int64
+	recoverTotal atomic.Int64
+	// maxUpdateBytes caps a POST /update body (WithMaxUpdateBytes;
+	// default 16MB). Oversized bodies are rejected with 413.
+	maxUpdateBytes int64
 }
 
 // Option configures a Server.
@@ -179,7 +194,8 @@ func WithBoundsCacheSize(n int) Option {
 
 // New builds a Server over g with an optional landmark index.
 func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
-	s := &Server{mux: http.NewServeMux(), maxK: 1000, logf: log.Printf}
+	s := &Server{mux: http.NewServeMux(), maxK: 1000, logf: log.Printf,
+		maxUpdateBytes: 16 << 20}
 	s.epoch.Store(&epochState{g: g, ix: ix})
 	s.hadIndex = ix != nil
 	for _, o := range opts {
@@ -203,6 +219,8 @@ func New(g *kpj.Graph, ix *kpj.Index, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /query", s.limited(s.handleQuery))
 	s.mux.HandleFunc("POST /batch", s.limited(s.handleBatch))
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /resync", s.handleResync)
 	s.installObs()
 	return s
 }
@@ -292,7 +310,21 @@ type QueryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Kind classifies the failure for programmatic handling (mirrors the
+	// X-Kpj-Error-Kind header); empty on legacy untyped errors.
+	Kind string `json:"kind,omitempty"`
 }
+
+// Error kinds carried in the JSON body and X-Kpj-Error-Kind header of
+// the server's typed error responses (update/resync paths).
+const (
+	kindBadRequest    = "bad-request"    // malformed body or parameters
+	kindTooLarge      = "too-large"      // body exceeds the configured cap
+	kindDraining      = "draining"       // replica is shutting down; retry elsewhere
+	kindEpochConflict = "epoch-conflict" // fencing precondition failed (stale or diverged caller)
+	kindWAL           = "wal"            // durability failure; epoch not published
+	kindInternal      = "internal"       // apply-path fault; epoch kept
+)
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -302,6 +334,13 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeKindError writes a typed {"error","kind"} body plus the
+// X-Kpj-Error-Kind header.
+func writeKindError(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	w.Header().Set("X-Kpj-Error-Kind", kind)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -345,6 +384,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if ep.ix != nil {
 		body["fingerprint"] = fmt.Sprintf("%016x", ep.ix.Fingerprint())
 	}
+	if s.recovering.Load() {
+		body["recovered"] = s.recovered.Load()
+		body["recoverTotal"] = s.recoverTotal.Load()
+	}
 	if !ready {
 		body["reason"] = reason
 		w.Header().Set("Retry-After", "1")
@@ -358,6 +401,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) readiness() (ready bool, reason string) {
 	if s.draining.Load() {
 		return false, "draining"
+	}
+	if s.recovering.Load() {
+		return false, fmt.Sprintf("recovering (%d/%d records)",
+			s.recovered.Load(), s.recoverTotal.Load())
 	}
 	if s.hadIndex && s.index() == nil {
 		return false, "index unloaded"
@@ -500,6 +547,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	withStats := q.Get("stats") == "1"
 	withSpans := q.Get("spans") == "1"
 	ep := s.snapshot()
+	// Stamp the serving generation on every /query outcome (success or
+	// error) so the routing tier can fence without parsing bodies.
+	setEpochHeaders(w, ep)
 	p, err := s.parseQuery(ep, q.Get, withStats, withSpans)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

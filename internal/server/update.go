@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"kpj"
+	"kpj/internal/wal"
 )
 
 // This file is the live-update endpoint: POST /update accepts a
@@ -52,20 +54,34 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeKindError(w, http.StatusServiceUnavailable, kindDraining, "draining")
 		s.met.observeShed()
 		return
 	}
 	var d kpj.Delta
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxUpdateBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&d); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		// MaxBytesReader failures surface through the decoder; unwrap them
+		// so an oversized body is a 413, not a misleading "bad JSON" 400.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeKindError(w, http.StatusRequestEntityTooLarge, kindTooLarge,
+				"delta exceeds %d bytes", s.maxUpdateBytes)
+		} else {
+			writeKindError(w, http.StatusBadRequest, kindBadRequest, "bad JSON: %v", err)
+		}
 		s.met.observeUpdate(false)
 		return
 	}
 	if d.Empty() {
-		writeError(w, http.StatusBadRequest, "empty delta")
+		writeKindError(w, http.StatusBadRequest, kindBadRequest, "empty delta")
+		s.met.observeUpdate(false)
+		return
+	}
+	expectEpoch, expectFP, fenced, err := parseFence(r)
+	if err != nil {
+		writeKindError(w, http.StatusBadRequest, kindBadRequest, "%v", err)
 		s.met.observeUpdate(false)
 		return
 	}
@@ -74,7 +90,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// are shed so a persistent fault cannot stack mutation attempts.
 		if !s.updateProbe.CompareAndSwap(false, true) {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "update breaker open")
+			writeKindError(w, http.StatusServiceUnavailable, kindDraining, "update breaker open")
 			s.met.observeShed()
 			return
 		}
@@ -84,12 +100,28 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	ep := s.snapshot()
+	if fenced {
+		// Epoch fencing: the caller preconditions this delta on the exact
+		// (epoch, fingerprint) it expects to extend. A mismatch means the
+		// caller is stale (replaying an already-applied delta) or this
+		// replica has diverged; either way the delta must not apply. 409
+		// plus the current generation in the headers lets the router decide
+		// between skip (replica ahead) and resync (replica behind/diverged).
+		if ep.seq != expectEpoch || (expectFP != "" && fingerprint(ep) != expectFP) {
+			setEpochHeaders(w, ep)
+			writeKindError(w, http.StatusConflict, kindEpochConflict,
+				"fence mismatch: at epoch %d fingerprint %s, caller expects epoch %d fingerprint %s",
+				ep.seq, fingerprint(ep), expectEpoch, expectFP)
+			s.met.observeUpdate(false)
+			return
+		}
+	}
 	next, resp, err := s.applyDelta(ep, &d)
 	if err != nil {
 		if errors.Is(err, kpj.ErrBadDelta) {
 			// A client mistake, not an apply-path fault: the breaker only
 			// counts internal failures.
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeKindError(w, http.StatusBadRequest, kindBadRequest, "%v", err)
 			s.met.observeUpdate(false)
 			return
 		}
@@ -97,17 +129,69 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.logf("server: update circuit breaker opened after: %v", err)
 			s.met.observeTrip()
 		}
-		writeError(w, http.StatusInternalServerError, "update failed, epoch %d kept: %v", ep.seq, err)
+		writeKindError(w, http.StatusInternalServerError, kindInternal,
+			"update failed, epoch %d kept: %v", ep.seq, err)
 		s.met.observeUpdate(false)
 		return
 	}
+	if s.wal != nil {
+		// Durable before observable: the record (epoch, fingerprint, graph
+		// shape, delta) is fsynced to the log before the epoch pointer
+		// moves. A crash after this append recovers exactly to next; a
+		// crash before it recovers to ep — the caller saw no 200 either way.
+		rec := wal.Record{Epoch: next.seq, Nodes: resp.Nodes, Edges: resp.Edges, Delta: &d}
+		if next.ix != nil {
+			rec.Fingerprint = next.ix.Fingerprint()
+		}
+		if err := s.wal.Append(rec); err != nil {
+			if s.updateBr.record(false) {
+				s.logf("server: update circuit breaker opened after: %v", err)
+				s.met.observeTrip()
+			}
+			writeKindError(w, http.StatusInternalServerError, kindWAL,
+				"wal append failed, epoch %d kept: %v", ep.seq, err)
+			s.met.observeUpdate(false)
+			return
+		}
+	}
 	s.epoch.Store(next)
+	s.maybeCheckpointLocked(next)
 	s.updateBr.record(true)
 	resp.Micros = time.Since(start).Microseconds()
+	setEpochHeaders(w, next)
 	writeJSON(w, http.StatusOK, resp)
 	s.met.observeUpdate(true)
 	s.logf("server: epoch %d -> %d: %d delta ops, %d tables repaired, cache %d migrated / %d dropped",
 		ep.seq, next.seq, d.Ops(), resp.RepairedTables, resp.CacheMigrated, resp.CacheDropped)
+}
+
+// parseFence reads the optional X-Kpj-Expect-Epoch / X-Kpj-Expect-Fingerprint
+// precondition headers. Absent epoch header means unfenced (direct
+// operator updates keep working); a fingerprint expectation without an
+// epoch is rejected as malformed.
+func parseFence(r *http.Request) (epoch uint64, fp string, fenced bool, err error) {
+	eh := r.Header.Get("X-Kpj-Expect-Epoch")
+	fp = r.Header.Get("X-Kpj-Expect-Fingerprint")
+	if eh == "" {
+		if fp != "" {
+			return 0, "", false, fmt.Errorf("X-Kpj-Expect-Fingerprint requires X-Kpj-Expect-Epoch")
+		}
+		return 0, "", false, nil
+	}
+	epoch, perr := strconv.ParseUint(eh, 10, 64)
+	if perr != nil {
+		return 0, "", false, fmt.Errorf("bad X-Kpj-Expect-Epoch %q", eh)
+	}
+	return epoch, fp, true, nil
+}
+
+// fingerprint renders an epoch's index fingerprint as the wire form used
+// in headers and fences ("" when the epoch has no index).
+func fingerprint(ep *epochState) string {
+	if ep.ix == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", ep.ix.Fingerprint())
 }
 
 // applyDelta derives the successor epoch for d without publishing it.
